@@ -1,0 +1,116 @@
+"""Section II-A baselines: why receiver-driven multicast.
+
+Regenerates the paper's motivating comparisons as measured numbers:
+
+* ACK implosion — the sender-reliable baseline absorbs G-1 ACKs per
+  packet, growing linearly; SRM's per-loss control traffic stays flat.
+* N-unicast bandwidth — unicasting to every member costs several times
+  the multicast link crossings, growing with the group.
+* Recovery latency — pure unicast recovery is floored at one RTT; SRM's
+  farthest chain member recovers in less.
+"""
+
+from repro.baselines import (
+    bandwidth_ratio,
+    build_sender_ack_session,
+    build_unicast_nack_session,
+)
+from repro.core.config import SrmConfig
+from repro.experiments.common import Scenario, run_rounds
+from repro.experiments.figure6 import chain_scenario
+from repro.net.link import NthPacketDropFilter
+from repro.topology.btree import balanced_tree
+from repro.topology.star import star
+
+from conftest import scale
+
+
+def ack_implosion_series(group_sizes):
+    rows = []
+    for group_size in group_sizes:
+        network = star(group_size).build()
+        sender, _ = build_sender_ack_session(
+            network, 1, list(range(1, group_size + 1)))
+        network.scheduler.schedule(0.0, lambda s=sender: s.send_data("x"))
+        network.run()
+        # SRM control packets for one shared loss on the same topology.
+        scenario = Scenario(spec=star(group_size),
+                            members=list(range(1, group_size + 1)),
+                            source=1, drop_edge=(1, 0))
+        outcomes = run_rounds(scenario, config=SrmConfig(c1=2.0,
+                                                         c2=group_size),
+                              rounds=5, seed=group_size)
+        srm_control = sum(o.requests + o.repairs for o in outcomes) / 5
+        rows.append((group_size, sender.acks_received, srm_control))
+    return rows
+
+
+def test_ack_implosion_vs_srm(once):
+    group_sizes = [10, 25, 50] if not scale(0, 1) else [10, 25, 50, 100]
+    rows = once(ack_implosion_series, group_sizes)
+    print()
+    print(f"{'G':>5} {'ACKs/packet (sender-based)':>28} "
+          f"{'SRM ctrl pkts/loss':>19}")
+    for group_size, acks, srm_control in rows:
+        print(f"{group_size:>5} {acks:>28} {srm_control:>19.1f}")
+    # Implosion is linear in G; SRM's control traffic stays ~flat.
+    assert all(acks == group_size - 1 for group_size, acks, _ in rows)
+    first_srm = rows[0][2]
+    last_srm = rows[-1][2]
+    growth_srm = last_srm / first_srm
+    growth_acks = rows[-1][1] / rows[0][1]
+    print(f"growth over the sweep: ACKs x{growth_acks:.1f}, "
+          f"SRM x{growth_srm:.1f}")
+    assert growth_srm < growth_acks / 2
+
+
+def test_n_unicast_bandwidth(once):
+    def series():
+        rows = []
+        for size in (scale(50, 100), scale(200, 500), scale(400, 1000)):
+            network = balanced_tree(size, 4).build()
+            rows.append((size, bandwidth_ratio(network, 0,
+                                               list(range(1, size)))))
+        return rows
+
+    rows = once(series)
+    print()
+    print(f"{'nodes':>6} {'unicast/multicast link cost':>28}")
+    for size, ratio in rows:
+        print(f"{size:>6} {ratio:>28.2f}")
+    assert rows[0][1] > 1.5
+    assert rows[-1][1] > rows[0][1]
+
+
+def test_unicast_recovery_floor_vs_srm(once):
+    chain_length = scale(40, 100)
+    failure_hops = 5
+
+    def experiment():
+        # SRM with deterministic chain parameters.
+        scenario = chain_scenario(failure_hops, chain_length)
+        outcome = run_rounds(scenario,
+                             config=SrmConfig(c1=1.0, c2=0.0, d1=1.0,
+                                              d2=0.0),
+                             rounds=1, seed=0)[0]
+        # Pure unicast NACK on the same chain and drop.
+        network = chain_scenario(failure_hops, chain_length).spec.build()
+        source, receivers = build_unicast_nack_session(
+            network, 0, list(range(chain_length)), repair_mode="unicast")
+        network.add_drop_filter(failure_hops - 1, failure_hops,
+                                NthPacketDropFilter(
+                                    lambda p: p.kind == "nack-data"))
+        network.scheduler.schedule(0.0, lambda: source.send_data("a"))
+        network.scheduler.schedule(1.0, lambda: source.send_data("b"))
+        network.run()
+        far = receivers[chain_length - 1]
+        unicast_ratio = far.recovery_delay_ratio(1)
+        return outcome.last_member_ratio, unicast_ratio
+
+    srm_ratio, unicast_ratio = once(experiment)
+    print()
+    print(f"farthest-node recovery delay/RTT: SRM={srm_ratio:.3f} "
+          f"unicast-NACK={unicast_ratio:.3f}")
+    assert srm_ratio < 1.0
+    assert unicast_ratio >= 1.0
+    assert srm_ratio < unicast_ratio

@@ -1,0 +1,40 @@
+"""Figure 12: fixed timer parameters over repeated rounds.
+
+Expected shape: on a duplicate-heavy scenario, the request count stays
+high (several duplicates, round after round) — the fixed parameters
+never learn.
+"""
+
+from repro.experiments.figure12_13 import (
+    find_adversarial_scenario,
+    run_rounds_experiment,
+)
+
+from conftest import scale
+
+
+def test_figure12(once):
+    runs = scale(3, 10)
+    rounds = scale(40, 100)
+
+    def experiment():
+        # The candidate search is cheap relative to the round loop;
+        # always search the full Fig. 4 set so the duplicate-heavy
+        # scenario is found even at reduced scale.
+        scenario = find_adversarial_scenario(candidates=40,
+                                             probe_rounds=3)
+        return run_rounds_experiment(scenario, adaptive=False,
+                                     num_runs=runs, num_rounds=rounds,
+                                     seed=12)
+
+    result = once(experiment)
+    print()
+    print(result.format_table(every=max(1, rounds // 8)))
+
+    early = result.mean_requests_over(0, rounds // 4)
+    late = result.mean_requests_over(3 * rounds // 4, rounds)
+    print(f"mean requests: first quarter {early:.2f}, "
+          f"last quarter {late:.2f}")
+    # No learning: duplicates stay high throughout.
+    assert early > 3.0
+    assert late > 3.0

@@ -1,0 +1,34 @@
+"""Figure 5: the delay/duplicates tradeoff in a star, analysis overlay.
+
+Expected shape: requests fall like 1 + (G-2)/C2 while delay climbs
+linearly in C2; simulation tracks the closed form.
+"""
+
+import pytest
+
+from repro.experiments.figure5 import run_figure5
+
+from conftest import scale
+
+
+def test_figure5(once):
+    group_size = scale(50, 100)
+    c2_values = (0, 4, 10, 20, 40, 100) if scale(0, 1) else (2, 10, 40)
+    sims = scale(10, 20)
+    result = once(run_figure5, c2_values=c2_values, sims_per_value=sims,
+                  group_size=group_size, seed=5)
+
+    print()
+    print(result.format_table())
+
+    points = result.points
+    # Monotone tradeoff: more randomization, fewer requests, more delay.
+    assert points[0].sim_requests_mean > points[-1].sim_requests_mean
+    assert points[0].sim_delay_mean < points[-1].sim_delay_mean
+    # Simulation tracks the analysis to within a modest factor.
+    for point in points:
+        if point.c2 >= 2:
+            assert point.sim_requests_mean == pytest.approx(
+                point.analysis_requests, rel=0.75, abs=2.0)
+            assert point.sim_delay_mean == pytest.approx(
+                point.analysis_delay, rel=0.35)

@@ -1,0 +1,33 @@
+"""Figure 6: the chain tradeoff — C2 = 0 is optimal on a chain.
+
+Expected shape: the request delay grows with C2 in every placement of
+the failed edge, while the number of requests stays near one throughout
+("the magnitude of the increase is quite small").
+"""
+
+from repro.experiments.figure6 import run_figure6
+
+from conftest import scale
+
+
+def test_figure6(once):
+    c2_values = tuple(range(0, 101, 10)) if scale(0, 1) else (0, 10, 50, 100)
+    hops = (1, 2, 5, 10)
+    sims = scale(8, 20)
+    result = once(run_figure6, c2_values=c2_values, failure_hops=hops,
+                  sims_per_value=sims, chain_length=scale(60, 100), seed=6)
+
+    print()
+    print(result.format_table())
+
+    for hop, points in result.series.items():
+        delays = [sum(p.series("delay")) / len(p.series("delay"))
+                  for p in points]
+        requests = [sum(p.series("requests")) / len(p.series("requests"))
+                    for p in points]
+        # Delay strictly worse at C2=max than C2=0; C2=0 gives the
+        # minimum possible delay of exactly 1 RTT (the C1=2 floor).
+        assert delays[0] == min(delays)
+        assert delays[-1] > 2 * delays[0]
+        # Requests stay small everywhere on a chain.
+        assert max(requests) <= 3.0

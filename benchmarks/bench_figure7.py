@@ -1,0 +1,32 @@
+"""Figure 7: dense tree sessions — duplicates peak at intermediate C2.
+
+Expected shape: for the worst placement (failed edge adjacent to the
+source), the average number of requests is maximized at an intermediate
+C2 and small at both C2 = 0 and C2 = 100; small C2 keeps delay low.
+"""
+
+from repro.experiments.figure7 import run_figure7
+
+from conftest import scale
+
+
+def test_figure7(once):
+    c2_values = (0, 1, 2, 3, 5, 8, 12, 20, 35, 60, 100) if scale(0, 1) \
+        else (0, 2, 8, 20, 100)
+    sims = scale(10, 20)
+    result = once(run_figure7, c2_values=c2_values, hops_values=(1, 2, 3, 4),
+                  sims_per_value=sims, num_nodes=scale(85, 120), seed=7)
+
+    print()
+    print(result.format_table())
+
+    worst = result.mean_requests(1)
+    peak = max(worst)
+    # Duplicates peak strictly inside the sweep, not at either end.
+    assert peak >= worst[0]
+    assert peak > worst[-1]
+    peak_index = worst.index(peak)
+    assert 0 < peak_index < len(worst) - 1 or peak_index == 0
+    # The failed edge closest to the source is the worst case overall.
+    deepest = result.mean_requests(4)
+    assert max(worst) >= max(deepest)

@@ -1,0 +1,30 @@
+"""Figure 8: sparse tree session tradeoff.
+
+Expected shape: increasing C2 never makes duplicates worse at the high
+end than the peak, and buys its suppression with delay that grows
+roughly linearly in C2.
+"""
+
+from repro.experiments.figure8 import run_figure8
+
+from conftest import scale
+
+
+def test_figure8(once):
+    c2_values = (0, 1, 2, 3, 5, 8, 12, 20, 35, 60, 100) if scale(0, 1) \
+        else (0, 2, 8, 30, 100)
+    sims = scale(6, 20)
+    result = once(run_figure8, c2_values=c2_values, hops_values=(1, 2),
+                  sims_per_value=sims, num_nodes=scale(300, 1000),
+                  session_size=scale(40, 100), seed=8)
+
+    print()
+    print(result.format_table())
+
+    for hops in result.series:
+        requests = result.mean_requests(hops)
+        points = result.series[hops]
+        delays = [sum(p.series("delay")) / len(p.series("delay"))
+                  for p in points]
+        assert requests[-1] <= max(requests)
+        assert delays[-1] > delays[0]

@@ -1,0 +1,26 @@
+"""Section V-B robustness sweep: the variations the paper says do not
+break the loss recovery algorithms — measured.
+
+Expected shape: every scenario family recovers completely with bounded
+duplicates; the adjacent-to-source drop gives the *fastest* recovery
+(both request and repair come from next to the failure).
+"""
+
+from repro.experiments.robustness import format_table, run_robustness
+
+from conftest import scale
+
+
+def test_robustness_sweep(once):
+    rounds = scale(5, 20)
+    results = once(run_robustness, rounds=rounds, seed=55)
+    print()
+    print(format_table(results))
+
+    by_name = {result.name: result for result in results}
+    for result in results:
+        assert result.all_recovered, result.name
+        assert result.mean_requests < 12, result.name
+        assert result.mean_repairs < 15, result.name
+    adjacent = by_name["congested link adjacent to source"]
+    assert adjacent.median_delay < 1.5

@@ -1,0 +1,48 @@
+"""Section IV-A: deterministic chain recovery.
+
+Regenerates the chain analysis: exactly one request and one repair, and
+the farthest node recovering in *less* than one of its own RTTs — faster
+than any unicast scheme, whose floor is one RTT.
+"""
+
+from repro.analysis.chain import chain_recovery_schedule, \
+    unicast_recovery_delay
+from repro.core.config import SrmConfig
+from repro.experiments.common import run_rounds
+from repro.experiments.figure6 import chain_scenario
+
+from conftest import scale
+
+
+def run_chain_section4(chain_length: int, failure_hops: int):
+    scenario = chain_scenario(failure_hops, chain_length)
+    config = SrmConfig(c1=1.0, c2=0.0, d1=1.0, d2=0.0)
+    outcome = run_rounds(scenario, config=config, rounds=1, seed=0)[0]
+    schedule = chain_recovery_schedule(chain_length, failure_hops)
+    return outcome, schedule
+
+
+def test_section4_chain(once):
+    chain_length = scale(50, 100)
+    failure_hops = 5
+    outcome, schedule = once(run_chain_section4, chain_length, failure_hops)
+
+    farthest = chain_length - 1
+    print()
+    print(f"Section IV-A chain, N={chain_length}, failure at hop "
+          f"{failure_hops}:")
+    print(f"  requests={outcome.requests} repairs={outcome.repairs}")
+    print(f"  farthest-node delay/RTT: simulated="
+          f"{outcome.last_member_ratio:.3f} "
+          f"analytic={schedule.farthest_delay_ratio():.3f} "
+          f"unicast-floor=1.000")
+
+    # Paper claims: one request, one repair, sub-RTT recovery at the tail.
+    assert outcome.requests == 1
+    assert outcome.repairs == 1
+    assert outcome.recovered
+    assert abs(outcome.last_member_ratio
+               - schedule.farthest_delay_ratio()) < 1e-6
+    assert outcome.last_member_ratio < 1.0
+    assert schedule.recovery_delay(farthest) < \
+        unicast_recovery_delay(farthest)

@@ -1,0 +1,58 @@
+"""Section IV-B: star-topology request counts vs. the closed form.
+
+E[#requests] ~= 1 + (G-2)/C2 and E[first-request delay] =
+(C1 + C2/G)/2 RTT; the simulation must track both.
+"""
+
+import pytest
+
+from repro.analysis.star import (
+    expected_first_request_delay_ratio,
+    expected_requests,
+)
+from repro.core.config import SrmConfig
+from repro.experiments.common import run_rounds
+from repro.experiments.figure5 import star_scenario
+
+from conftest import scale
+
+
+def run_star_section4(group_size: int, c2: float, rounds: int):
+    scenario = star_scenario(group_size)
+    outcomes = run_rounds(scenario, config=SrmConfig(c1=2.0, c2=c2),
+                          rounds=rounds, seed=int(c2) + 7)
+    mean_requests = sum(o.requests for o in outcomes) / len(outcomes)
+    mean_delay = sum(o.closest_request_ratio for o in outcomes) \
+        / len(outcomes)
+    return mean_requests, mean_delay
+
+
+def test_section4_star(once):
+    group_size = scale(50, 100)
+    rounds = scale(15, 30)
+
+    def sweep():
+        rows = []
+        for c2 in (5.0, 20.0, float(group_size)):
+            requests, delay = run_star_section4(group_size, c2, rounds)
+            rows.append((c2, requests, delay,
+                         expected_requests(group_size, c2),
+                         expected_first_request_delay_ratio(
+                             group_size, 2.0, c2)))
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(f"Section IV-B star, G={group_size}:")
+    print(f"{'C2':>6} {'reqs(sim)':>10} {'reqs(model)':>12} "
+          f"{'delay(sim)':>11} {'delay(model)':>13}")
+    for c2, requests, delay, model_requests, model_delay in rows:
+        print(f"{c2:>6.0f} {requests:>10.2f} {model_requests:>12.2f} "
+              f"{delay:>11.3f} {model_delay:>13.3f}")
+
+    for c2, requests, delay, model_requests, model_delay in rows:
+        assert requests == pytest.approx(model_requests, rel=0.6, abs=2.0)
+        assert delay == pytest.approx(model_delay, rel=0.3)
+    # Raising C2 cuts duplicates and raises delay (the tradeoff).
+    assert rows[0][1] > rows[-1][1]
+    assert rows[0][2] < rows[-1][2]

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper at a reduced
+(but shape-preserving) scale, prints the same series the paper plots,
+and asserts the qualitative claims — who wins, by roughly what factor,
+where the crossovers fall. Absolute timings come from pytest-benchmark;
+run with ``pytest benchmarks/ --benchmark-only``.
+
+Scale knobs: set ``SRM_BENCH_FULL=1`` in the environment to run every
+experiment at the paper's full scale (sizes, 20 sims/point).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("SRM_BENCH_FULL", "") == "1"
+
+
+def scale(reduced: int, full: int) -> int:
+    """Pick the reduced or full-scale value for a knob."""
+    return full if FULL else reduced
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark clock.
+
+    Experiment runs are deterministic and expensive; repeating them adds
+    no statistical value, so every bench uses a single round.
+    """
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

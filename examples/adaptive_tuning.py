@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Watching the adaptive timers learn (Section VII-A / Figs. 12-13).
+
+Picks a sparse-session scenario in a 1000-node tree that produces many
+duplicate requests under fixed timer parameters, then runs the same loss
+once per round while the members adapt (C1, C2, D1, D2). Prints a
+round-by-round log of duplicates, delay, and the parameter values of the
+member closest to the failure.
+
+Run:  python examples/adaptive_tuning.py
+"""
+
+import statistics
+
+from repro.core.config import SrmConfig
+from repro.experiments.common import LossRecoverySimulation
+from repro.experiments.figure12_13 import find_adversarial_scenario
+
+
+def main() -> None:
+    print("searching the Figure-4 scenario set for a duplicate-heavy "
+          "case ...")
+    scenario = find_adversarial_scenario(candidates=20, probe_rounds=2)
+    print(f"  topology: 1000-node degree-4 tree; session of "
+          f"{scenario.session_size} members")
+    print(f"  source: node {scenario.source}; congested link: "
+          f"{scenario.drop_edge}")
+
+    print()
+    print("--- fixed parameters (C1=C2=2, D1=D2=log10 G) ---")
+    fixed = LossRecoverySimulation(scenario, config=SrmConfig(), seed=7)
+    fixed_requests = []
+    for round_index in range(30):
+        outcome = fixed.run_round()
+        fixed_requests.append(outcome.requests)
+        if round_index % 5 == 0:
+            print(f"  round {round_index:3d}: {outcome.requests:2d} "
+                  f"requests, {outcome.repairs:2d} repairs, "
+                  f"delay {outcome.last_member_ratio:.2f} RTT")
+    print(f"  mean requests/round: "
+          f"{statistics.mean(fixed_requests):.2f}  (never improves)")
+
+    print()
+    print("--- adaptive parameters ---")
+    adaptive = LossRecoverySimulation(scenario,
+                                      config=SrmConfig(adaptive=True),
+                                      seed=7)
+    bad_members = adaptive.affected_members()
+    watched = bad_members[0] if bad_members else scenario.members[0]
+    for round_index in range(60):
+        outcome = adaptive.run_round()
+        if round_index % 5 == 0 or round_index == 59:
+            params = adaptive.agents[watched].params
+            print(f"  round {round_index:3d}: {outcome.requests:2d} "
+                  f"requests, {outcome.repairs:2d} repairs, "
+                  f"delay {outcome.last_member_ratio:.2f} RTT | "
+                  f"member {watched}: C1={params.c1:.2f} "
+                  f"C2={params.c2:.1f} D1={params.d1:.2f} "
+                  f"D2={params.d2:.1f}")
+    final = [adaptive.run_round().requests for _ in range(10)]
+    print(f"  mean requests/round after adaptation: "
+          f"{statistics.mean(final):.2f}")
+    print()
+    print("The members sharing the loss widened their request intervals")
+    print("(C2 up) and the habitual requester pulled its C1 down -- the")
+    print("deterministic-suppression equilibrium of Section VII-A.")
+
+
+if __name__ == "__main__":
+    main()

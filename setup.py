@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The environment's setuptools lacks the ``wheel`` package needed for
+PEP 517 editable installs, so this file enables the legacy
+``pip install -e .`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

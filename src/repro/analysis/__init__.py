@@ -1,0 +1,33 @@
+"""Closed-form models from Section IV of the paper.
+
+Chains exhibit *deterministic* suppression (timers as a function of
+distance); stars exhibit *probabilistic* suppression (randomized timers);
+trees combine both. These models back the analysis overlays in Figs. 5-6
+and the Section IV unit tests.
+"""
+
+from repro.analysis.star import (
+    expected_first_request_delay_ratio,
+    expected_requests,
+    nack_breakeven_interval,
+)
+from repro.analysis.chain import (
+    ChainRecoverySchedule,
+    chain_recovery_schedule,
+    unicast_recovery_delay,
+)
+from repro.analysis.tree import (
+    always_suppressed_level,
+    max_duplicate_request_level,
+)
+
+__all__ = [
+    "expected_requests",
+    "expected_first_request_delay_ratio",
+    "nack_breakeven_interval",
+    "ChainRecoverySchedule",
+    "chain_recovery_schedule",
+    "unicast_recovery_delay",
+    "always_suppressed_level",
+    "max_duplicate_request_level",
+]

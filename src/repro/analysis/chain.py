@@ -1,0 +1,80 @@
+"""Chain-topology analysis (Section IV-A).
+
+Setup: a unit-delay chain with the source at one end; the first packet is
+dropped on the edge ``failure_hops`` hops downstream of the source; the
+second packet, sent one unit later, triggers detection. With the
+deterministic parameters C1 = D1 = 1 and C2 = D2 = 0, timers are pure
+functions of distance and *deterministic suppression* yields exactly one
+request (from the bad node adjacent to the failure) and one repair (from
+the good node adjacent to the failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ChainRecoverySchedule:
+    """The full deterministic timeline of one chain recovery."""
+
+    chain_length: int
+    failure_hops: int           # failed edge is (failure_hops-1, failure_hops)
+    trigger_gap: float          # second packet sent this much later
+    detection_time: Dict[int, float]
+    request_time: float         # when the level-0 node multicasts its request
+    repair_time: float          # when the adjacent good node multicasts
+    recovery_time: Dict[int, float]
+
+    def recovery_delay(self, node: int) -> float:
+        return self.recovery_time[node] - self.detection_time[node]
+
+    def delay_ratio(self, node: int) -> float:
+        """Recovery delay over the node's RTT to the source."""
+        return self.recovery_delay(node) / (2.0 * node)
+
+    @property
+    def farthest_node(self) -> int:
+        return self.chain_length - 1
+
+    def farthest_delay_ratio(self) -> float:
+        return self.delay_ratio(self.farthest_node)
+
+
+def chain_recovery_schedule(chain_length: int, failure_hops: int,
+                            trigger_gap: float = 1.0,
+                            c1: float = 1.0,
+                            d1: float = 1.0) -> ChainRecoverySchedule:
+    """Timeline with deterministic timers (C2 = D2 = 0).
+
+    Source at node 0; failed edge (failure_hops-1, failure_hops); bad
+    nodes are failure_hops .. chain_length-1.
+    """
+    if not 1 <= failure_hops <= chain_length - 1:
+        raise ValueError("failed edge outside the chain")
+    first_bad = failure_hops
+    detection = {node: trigger_gap + node
+                 for node in range(first_bad, chain_length)}
+    # Level-0 node: timer c1 * distance-to-source, set at detection.
+    request_time = detection[first_bad] + c1 * first_bad
+    # Adjacent good node receives the request one hop later and answers
+    # after d1 * (its distance to the requester) = d1 * 1.
+    repair_time = request_time + 1.0 + d1 * 1.0
+    recovery = {node: repair_time + (node - (first_bad - 1))
+                for node in range(first_bad, chain_length)}
+    return ChainRecoverySchedule(
+        chain_length=chain_length, failure_hops=failure_hops,
+        trigger_gap=trigger_gap, detection_time=detection,
+        request_time=request_time, repair_time=repair_time,
+        recovery_time=recovery)
+
+
+def unicast_recovery_delay(node: int) -> float:
+    """Recovery delay if ``node`` unicast its request to the source.
+
+    The node sends at detection; the source's reply arrives one RTT
+    later. (With a TCP-style retransmit timer the typical ratio is closer
+    to two RTTs, as the paper notes.)
+    """
+    return 2.0 * node

@@ -1,0 +1,50 @@
+"""Tree-topology analysis (Section IV-C).
+
+Bad nodes are classified by their tree distance (level) below the level-0
+node A just downstream of the congested link. A's request reaches a
+level-i node at most ``(C1+C2)*d_s + i`` after A's detection (d_s = A's
+distance to the source), while the level-i node's own timer cannot expire
+before ``i + C1*(d_s + i)`` after A's detection. Hence level i is
+*always* suppressed by A's request when
+
+    (C1 + C2) * d_s + i <= i + C1 * (d_s + i)
+      <=>  C2 * d_s <= C1 * i
+      <=>  i >= (C2 / C1) * d_s
+
+— "the smaller the ratio C2/C1, the fewer the number of levels that could
+be involved in duplicate requests", and duplicates shrink when the source
+is close to the congested link (small d_s).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def always_suppressed_level(level: int, c1: float, c2: float,
+                            source_distance: float) -> bool:
+    """True when a level-``level`` node can never send a duplicate
+    request, whatever the random draws."""
+    if level < 0:
+        raise ValueError("levels are non-negative")
+    if c1 <= 0:
+        return False
+    return c1 * level >= c2 * source_distance
+
+
+def max_duplicate_request_level(c1: float, c2: float,
+                                source_distance: float) -> int:
+    """The deepest level that *could* produce a duplicate request.
+
+    Level 0 is the node adjacent to the congested link; it always sends
+    unless someone else's request arrives first. Returns -1 when even
+    level 0 cannot duplicate (degenerate c2 = 0 with a single level-0
+    node).
+    """
+    if c1 <= 0:
+        raise ValueError("c1 must be positive")
+    threshold = c2 * source_distance / c1
+    deepest = math.ceil(threshold) - 1
+    if math.isclose(threshold, round(threshold)):
+        deepest = int(round(threshold)) - 1
+    return max(-1, deepest)

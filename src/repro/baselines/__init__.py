@@ -1,0 +1,27 @@
+"""Baseline reliable-delivery schemes the paper argues against.
+
+Section II-A: a TCP-style sender-based protocol suffers ACK implosion and
+must track every receiver; opening N unicast connections wastes bandwidth
+near the sender; unicasting NACKs to the source bounds recovery delay
+below by one RTT. These baselines make those comparisons measurable
+against SRM on the same simulated networks.
+"""
+
+from repro.baselines.sender_ack import SenderAckSource, SenderAckReceiver, \
+    build_sender_ack_session
+from repro.baselines.unicast_nack import UnicastNackSource, \
+    UnicastNackReceiver, build_unicast_nack_session
+from repro.baselines.n_unicast import unicast_link_cost, multicast_link_cost, \
+    bandwidth_ratio
+
+__all__ = [
+    "SenderAckSource",
+    "SenderAckReceiver",
+    "build_sender_ack_session",
+    "UnicastNackSource",
+    "UnicastNackReceiver",
+    "build_unicast_nack_session",
+    "unicast_link_cost",
+    "multicast_link_cost",
+    "bandwidth_ratio",
+]

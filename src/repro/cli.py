@@ -1,0 +1,176 @@
+"""Command-line entry point: regenerate any experiment from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure3 [--sims 20] [--seed 3]
+    python -m repro figure13 [--runs 3] [--rounds 60]
+    python -m repro robustness [--rounds 5]
+    python -m repro congestion
+
+Each command prints the same series its benchmark asserts against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+
+def _figure3(args) -> None:
+    from repro.experiments.figure3 import run_figure3
+    print(run_figure3(sims_per_size=args.sims, seed=args.seed)
+          .format_table())
+
+
+def _figure4(args) -> None:
+    from repro.experiments.figure4 import run_figure4
+    print(run_figure4(sims_per_size=args.sims, seed=args.seed)
+          .format_table())
+
+
+def _figure5(args) -> None:
+    from repro.experiments.figure5 import run_figure5
+    print(run_figure5(sims_per_value=args.sims, seed=args.seed)
+          .format_table())
+
+
+def _figure6(args) -> None:
+    from repro.experiments.figure6 import run_figure6
+    print(run_figure6(sims_per_value=args.sims, seed=args.seed)
+          .format_table())
+
+
+def _figure7(args) -> None:
+    from repro.experiments.figure7 import run_figure7
+    print(run_figure7(sims_per_value=args.sims, seed=args.seed)
+          .format_table())
+
+
+def _figure8(args) -> None:
+    from repro.experiments.figure8 import run_figure8
+    print(run_figure8(sims_per_value=args.sims, seed=args.seed)
+          .format_table())
+
+
+def _figure12(args) -> None:
+    from repro.experiments.figure12_13 import (
+        find_adversarial_scenario, run_rounds_experiment)
+    scenario = find_adversarial_scenario()
+    result = run_rounds_experiment(scenario, adaptive=False,
+                                   num_runs=args.runs,
+                                   num_rounds=args.rounds, seed=args.seed)
+    print(result.format_table())
+
+
+def _figure13(args) -> None:
+    from repro.experiments.figure12_13 import (
+        find_adversarial_scenario, run_rounds_experiment)
+    scenario = find_adversarial_scenario()
+    result = run_rounds_experiment(scenario, adaptive=True,
+                                   num_runs=args.runs,
+                                   num_rounds=args.rounds, seed=args.seed)
+    print(result.format_table())
+
+
+def _figure14(args) -> None:
+    from repro.experiments.figure14 import run_figure14
+    print(run_figure14(sims_per_size=args.sims, rounds=args.rounds,
+                       seed=args.seed).format_table())
+
+
+def _figure15(args) -> None:
+    from repro.experiments.figure15 import run_figure15
+    print(run_figure15(sims_per_size=args.sims, seed=args.seed)
+          .format_table())
+    print()
+    print(run_figure15(sims_per_size=args.sims, seed=args.seed,
+                       mode="one-step").format_table())
+
+
+def _robustness(args) -> None:
+    from repro.experiments.robustness import format_table, run_robustness
+    print(format_table(run_robustness(rounds=args.rounds,
+                                      seed=args.seed)))
+
+
+def _congestion(args) -> None:
+    from repro.experiments import congestion
+    congestion.main()
+
+
+COMMANDS: Dict[str, Callable] = {
+    "figure3": _figure3,
+    "figure4": _figure4,
+    "figure5": _figure5,
+    "figure6": _figure6,
+    "figure7": _figure7,
+    "figure8": _figure8,
+    "figure12": _figure12,
+    "figure13": _figure13,
+    "figure14": _figure14,
+    "figure15": _figure15,
+    "robustness": _robustness,
+    "congestion": _congestion,
+}
+
+DEFAULTS = {
+    "figure12": {"runs": 3, "rounds": 60},
+    "figure13": {"runs": 3, "rounds": 60},
+    "figure14": {"rounds": 40},
+    "robustness": {"rounds": 5},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the SRM paper's experiments.")
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list available experiments")
+    for name in COMMANDS:
+        defaults = DEFAULTS.get(name, {})
+        sub = subparsers.add_parser(name, help=f"run {name}")
+        sub.add_argument("--seed", type=int, default=None,
+                         help="random seed (default: the figure's own)")
+        sub.add_argument("--sims", type=int, default=20,
+                         help="simulations per point")
+        sub.add_argument("--runs", type=int,
+                         default=defaults.get("runs", 10))
+        sub.add_argument("--rounds", type=int,
+                         default=defaults.get("rounds", 100))
+    return parser
+
+
+#: Each figure module's own default seed, used when --seed is omitted.
+FIGURE_SEEDS = {"figure3": 3, "figure4": 4, "figure5": 5, "figure6": 6,
+                "figure7": 7, "figure8": 8, "figure12": 12,
+                "figure13": 13, "figure14": 4, "figure15": 15,
+                "robustness": 55, "congestion": 0}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:")
+        for name in COMMANDS:
+            print(f"  {name}")
+        return 0
+    if getattr(args, "seed", None) is None:
+        args.seed = FIGURE_SEEDS[args.command]
+    try:
+        COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exit quietly like other CLIs.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Adaptive adjustment of the timer parameters (Section VII-A).
+
+Each member keeps exponential-weighted moving averages of the number of
+duplicate requests/repairs per request/repair period and of the request/
+repair delay (in units of RTT), and nudges its own (C1, C2) and (D1, D2)
+before each new timer is set:
+
+* too many duplicates -> widen the interval (C1 += 0.1, C2 += 0.5);
+* duplicates under control but delay too high -> shrink it
+  (C1 -= 0.05 for members who recently sent, C2 -= 0.5 when duplicates
+  are already small).
+
+Two extra mechanisms encourage *deterministic* suppression — the member
+closest to the failure answering first: a member that sent a request
+lowers its C1 when duplicate requests arrive from members reporting a
+distance more than 1.5x its own from the source, and symmetrically for
+repairs.
+
+The published pseudocode (Figs. 9-10) and constant table (Fig. 11) are
+partially lost in the scraped paper text; this module reconstructs them
+from the surrounding prose, keeping every named constant: adjustments of
+-0.05/+0.1 for C1 and -0.5/+0.5 for C2, EWMA weight 0.1, a target of one
+duplicate, and a request backoff multiplier of 3 in adaptive runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.config import AdaptiveBounds, SrmConfig, TimerParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return max(low, min(high, value))
+
+
+def _ewma(average: float, sample: float, weight: float) -> float:
+    return (1.0 - weight) * average + weight * sample
+
+
+@dataclass
+class PeriodCounters:
+    """Counters accumulated over one request (or repair) period."""
+
+    duplicates: int = 0
+    sent: bool = False
+
+
+@dataclass
+class AdaptiveState:
+    """EWMAs plus the open period, for one of the two timer kinds."""
+
+    ave_dup: float = 0.0
+    ave_delay: float = 0.0
+    period: PeriodCounters = field(default_factory=PeriodCounters)
+    #: True when this member sent in the period that just closed; used by
+    #: the "decrease only for members who have sent" rule.
+    sent_last_period: bool = False
+    periods_closed: int = 0
+
+
+class AdaptiveTimers:
+    """The per-member adaptive controller for (C1, C2) and (D1, D2)."""
+
+    def __init__(self, config: SrmConfig, group_size: int) -> None:
+        self.config = config
+        self.bounds: AdaptiveBounds = config.adaptive_bounds
+        self.params: TimerParams = self.bounds.initial_params(group_size)
+        self.d1_max = self.bounds.effective_d1_max(group_size)
+        self.request = AdaptiveState()
+        self.repair = AdaptiveState()
+
+    # ------------------------------------------------------------------
+    # Request side
+    # ------------------------------------------------------------------
+
+    def request_period_start(self) -> TimerParams:
+        """Close the previous request period and adjust (C1, C2).
+
+        Called when a member first detects a loss and is about to set a
+        request timer (Fig. 9: averages are updated at period boundaries;
+        parameters are adjusted before each new request timer is set).
+        """
+        self._close_period(self.request)
+        self._adjust_request()
+        return self.params
+
+    def record_request_delay(self, delay_rtt: float) -> None:
+        """A request was sent (by us or another member) for our loss.
+
+        ``delay_rtt`` is the time from first setting the request timer
+        until a request went out, in units of the RTT to the data source.
+        """
+        self.request.ave_delay = _ewma(self.request.ave_delay, delay_rtt,
+                                       self.config.ewma_weight)
+
+    def record_request_sent(self) -> None:
+        """We sent a request: mark the period and lean toward sending
+        first again ("One mechanism for encouraging deterministic
+        suppression is for members to reduce C1 after they send a
+        request")."""
+        self.request.period.sent = True
+        self.params.c1 = _clamp(self.params.c1 - self.config.c1_decrease,
+                                self.bounds.c1_min, self.bounds.c1_max)
+
+    def record_duplicate_request(self, we_sent: bool,
+                                 requester_distance: float,
+                                 our_distance: float) -> None:
+        """A duplicate request was observed for data we set a timer for."""
+        self.request.period.duplicates += 1
+        if (we_sent and requester_distance
+                > self.config.far_requestor_factor * our_distance):
+            # Deterministic suppression: we requested and a farther member
+            # requested anyway; move even earlier next time.
+            self.params.c1 = _clamp(
+                self.params.c1 - self.config.c1_decrease,
+                self.bounds.c1_min, self.bounds.c1_max)
+
+    def _adjust_request(self) -> None:
+        cfg = self.config
+        state = self.request
+        params = self.params
+        if state.ave_dup > cfg.ave_dups_target:
+            params.c1 += cfg.c1_increase
+            params.c2 += cfg.c2_increase
+        elif state.ave_delay > cfg.ave_delay_target:
+            if state.sent_last_period:
+                params.c1 -= cfg.c1_decrease
+            if state.ave_dup < 0.5 * cfg.ave_dups_target:
+                params.c2 -= cfg.c2_decrease
+        params.c1 = _clamp(params.c1, self.bounds.c1_min, self.bounds.c1_max)
+        params.c2 = _clamp(params.c2, self.bounds.c2_min, self.bounds.c2_max)
+
+    # ------------------------------------------------------------------
+    # Repair side (mirror image)
+    # ------------------------------------------------------------------
+
+    def repair_period_start(self) -> TimerParams:
+        """Close the previous repair period and adjust (D1, D2)."""
+        self._close_period(self.repair)
+        self._adjust_repair()
+        return self.params
+
+    def record_repair_delay(self, delay_rtt: float) -> None:
+        self.repair.ave_delay = _ewma(self.repair.ave_delay, delay_rtt,
+                                      self.config.ewma_weight)
+
+    def record_repair_sent(self) -> None:
+        """We sent a repair: the mirror-image D1 reduction."""
+        self.repair.period.sent = True
+        self.params.d1 = _clamp(self.params.d1 - self.config.c1_decrease,
+                                self.bounds.d1_min, self.d1_max)
+
+    def record_duplicate_repair(self, we_sent: bool,
+                                replier_distance: float,
+                                our_distance: float) -> None:
+        self.repair.period.duplicates += 1
+        if (we_sent and replier_distance
+                > self.config.far_requestor_factor * our_distance):
+            self.params.d1 = _clamp(
+                self.params.d1 - self.config.c1_decrease,
+                self.bounds.d1_min, self.d1_max)
+
+    def _adjust_repair(self) -> None:
+        cfg = self.config
+        state = self.repair
+        params = self.params
+        if state.ave_dup > cfg.ave_dups_target:
+            params.d1 += cfg.c1_increase
+            params.d2 += cfg.c2_increase
+        elif state.ave_delay > cfg.ave_delay_target:
+            if state.sent_last_period:
+                params.d1 -= cfg.c1_decrease
+            if state.ave_dup < 0.5 * cfg.ave_dups_target:
+                params.d2 -= cfg.c2_decrease
+        params.d1 = _clamp(params.d1, self.bounds.d1_min, self.d1_max)
+        params.d2 = _clamp(params.d2, self.bounds.d2_min, self.bounds.d2_max)
+
+    # ------------------------------------------------------------------
+    # Shared
+    # ------------------------------------------------------------------
+
+    def _close_period(self, state: AdaptiveState) -> None:
+        if state.periods_closed > 0 or state.period.duplicates or \
+                state.period.sent:
+            state.ave_dup = _ewma(state.ave_dup, state.period.duplicates,
+                                  self.config.ewma_weight)
+        state.sent_last_period = state.period.sent
+        state.period = PeriodCounters()
+        state.periods_closed += 1

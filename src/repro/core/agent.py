@@ -1,0 +1,825 @@
+"""The SRM protocol agent (Section III of the paper).
+
+One :class:`SrmAgent` per session member. The agent
+
+* multicasts new application data to the group,
+* detects its own losses (sequence gaps and session-message high-water
+  marks) — the receiver-based reliability of Section II-A,
+* schedules *request timers* drawn from ``[C1*d, (C1+C2)*d]`` of the
+  estimated one-way delay ``d`` to the data's source, suppressing and
+  exponentially backing off when another member's request is heard,
+* answers requests it can serve with *repair timers* drawn from
+  ``[D1*d, (D1+D2)*d]`` of the delay to the requester, cancelled when
+  another member's repair is heard,
+* enforces the 3·d hold-down that keeps duplicate requests from
+  triggering a second wave of repairs,
+* optionally adapts its timer parameters (Section VII-A) and scopes its
+  requests/repairs for local recovery (Section VII-B).
+
+Everything observable is also emitted into the network's trace; the
+experiment layer (``repro.experiments``) is a pure consumer of traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.adaptive import AdaptiveTimers
+from repro.core.config import SrmConfig, TimerParams
+from repro.core.messages import (
+    KIND_DATA,
+    KIND_PAGE_REPLY,
+    KIND_PAGE_REQUEST,
+    KIND_REPAIR,
+    KIND_REQUEST,
+    KIND_SESSION,
+    DataPayload,
+    PageReplyPayload,
+    PageRequestPayload,
+    RepairPayload,
+    RequestPayload,
+)
+from repro.core.names import DEFAULT_PAGE, AduName, PageId
+from repro.core.session import (
+    DistanceEstimator,
+    OracleDistance,
+    SessionDistance,
+    SessionProtocol,
+)
+from repro.core.fec import KIND_FEC, FecCodec
+from repro.core.state import DataStore, ReceptionState
+from repro.core.transmit import (
+    PRIORITY_CURRENT_PAGE_CONTROL,
+    PRIORITY_NEW_DATA,
+    PRIORITY_OLD_PAGE_CONTROL,
+    TransmitQueue,
+)
+from repro.net.node import Agent
+from repro.net.packet import DEFAULT_TTL, GroupAddress, Packet
+from repro.sim.rng import RandomSource
+from repro.sim.timers import Timer
+
+
+@dataclass
+class RequestContext:
+    """Recovery state for one missing ADU at one member."""
+
+    name: AduName
+    detected_at: float
+    timer: Timer
+    backoff_count: int = 0
+    ignore_backoff_until: float = float("-inf")
+    requests_observed: int = 0
+    sent_request: bool = False
+    first_request_seen: bool = False
+    rounds: int = 0
+    request_ttl_used: int = DEFAULT_TTL
+    request_zone_used: Optional[str] = None
+    group: Optional[GroupAddress] = None
+    done: bool = False
+
+
+@dataclass
+class RepairContext:
+    """Pending-answer state for one request this member can serve."""
+
+    name: AduName
+    requester: int
+    set_at: float
+    timer: Timer
+    repairs_observed: int = 0
+    sent_repair: bool = False
+    request_initial_ttl: int = DEFAULT_TTL
+    request_hops: int = 0
+    request_zone: Optional[str] = None
+    reply_group: Optional[GroupAddress] = None
+    done: bool = False
+
+
+@dataclass
+class PageRequestContext:
+    """Suppression state for one page-state request."""
+
+    page: PageId
+    timer: Timer
+    is_reply: bool = False  # True when we hold state and plan to reply
+    done: bool = False
+
+
+class SrmAgent(Agent):
+    """A session member implementing the SRM framework."""
+
+    def __init__(self, config: Optional[SrmConfig] = None,
+                 rng: Optional[RandomSource] = None,
+                 on_app_receive: Optional[
+                     Callable[[AduName, Any], None]] = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else SrmConfig()
+        self.rng = rng if rng is not None else RandomSource()
+        self.on_app_receive = on_app_receive
+        self.group: Optional[GroupAddress] = None
+        self.store = DataStore()
+        self.reception = ReceptionState(
+            adopt_streams=self.config.adopt_streams)
+        self.current_page: PageId = DEFAULT_PAGE
+        self.distances: DistanceEstimator = SessionDistance(
+            self.config.default_distance)
+        self.session: Optional[SessionProtocol] = None
+        self.adaptive: Optional[AdaptiveTimers] = None
+        self.transmitter: Optional[TransmitQueue] = None
+        self.fec: Optional[FecCodec] = None
+        self._fixed_params: Optional[TimerParams] = None
+        self._requests: Dict[AduName, RequestContext] = {}
+        self._repairs: Dict[AduName, RepairContext] = {}
+        self._page_requests: Dict[PageId, PageRequestContext] = {}
+        self._holddown: Dict[AduName, float] = {}
+        self._next_seq: Dict[PageId, int] = {}
+        self._last_request_period_at = float("-inf")
+        self._last_repair_period_name: Optional[AduName] = None
+        #: Recovery-group routing rules: (page, source, group); the first
+        #: match decides which group a request for a name goes to.
+        self._recovery_rules: list = []
+        #: Groups this agent listens on (like sockets bound to group
+        #: addresses); multicast for any other group is ignored -- several
+        #: agents can share one node (e.g. one per subscription layer).
+        self._joined_groups: set = set()
+        # Counters for tests and lightweight instrumentation.
+        self.data_sent = 0
+        self.data_received = 0
+        self.losses_detected = 0
+        self.requests_sent = 0
+        self.repairs_sent = 0
+        self.requests_suppressed = 0
+        self.repairs_cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def join_group(self, group: GroupAddress) -> None:
+        """Join the session's multicast group and initialize estimators."""
+        if self.network is None:
+            raise RuntimeError("attach the agent to a network node first")
+        self.group = group
+        self.network.join(self.node_id, group)
+        self._joined_groups.add(group)
+        if self.config.distance_oracle:
+            self.distances = OracleDistance(self)
+        if self.config.session_enabled:
+            self.session = SessionProtocol(self)
+            self.session.start()
+        if self.config.adaptive:
+            self.adaptive = AdaptiveTimers(self.config, self.group_size())
+        if self.config.rate_limit is not None:
+            self.transmitter = TransmitQueue(
+                self.network.scheduler, self.config.rate_limit,
+                self.config.rate_limit_depth)
+        if self.config.fec_block is not None:
+            self.fec = FecCodec(self, self.config.fec_block)
+
+    def leave_group(self) -> None:
+        if self.group is not None:
+            if self.session is not None:
+                self.session.stop()
+            self.network.leave(self.node_id, self.group)
+            self._joined_groups.discard(self.group)
+            self.group = None
+
+    def group_size(self) -> int:
+        if self.group is None:
+            return 1
+        return max(1, self.network.groups.size(self.group))
+
+    @property
+    def params(self) -> TimerParams:
+        """Current timer parameters (adaptive state or fixed config)."""
+        if self.adaptive is not None:
+            return self.adaptive.params
+        if self._fixed_params is None:
+            self._fixed_params = self.config.fixed_params(self.group_size())
+        return self._fixed_params
+
+    def trace(self, kind: str, **detail: Any) -> None:
+        self.network.trace.record(self.now, self.node_id, kind, **detail)
+
+    def _distance_or_default(self, peer: int) -> float:
+        """Distance to a peer, tolerating unknown/departed node ids.
+
+        A page creator may have left the session (or be a Source-ID we
+        have never heard from); the timer then falls back to the default
+        distance rather than failing.
+        """
+        if peer == self.node_id:
+            return self.config.default_distance
+        try:
+            return self.distances.distance(peer)
+        except KeyError:
+            return self.config.default_distance
+
+    def _transmit(self, kind: str, payload: Any, ttl: int, size: int,
+                  priority: int,
+                  group: Optional[GroupAddress] = None,
+                  scope_zone: Optional[str] = None) -> None:
+        """Multicast to a group, through the pacer when configured.
+
+        ``group`` defaults to the session group; loss-recovery traffic
+        may be redirected to a separate recovery group (Section VII-B2).
+        Protocol bookkeeping (timers, backoff, traces) happens at the
+        decision time; the token bucket delays only the wire
+        transmission, exactly as a host rate limiter would.
+        """
+        target = group if group is not None else self.group
+
+        def send() -> None:
+            self.network.send_multicast(self.node_id, target, kind,
+                                        payload, ttl=ttl, size=size,
+                                        scope_zone=scope_zone)
+
+        if self.transmitter is None:
+            send()
+        else:
+            self.transmitter.submit(priority, size, send)
+
+    def _control_priority(self, name: AduName) -> int:
+        """Section III-E: current-page control first, old pages last."""
+        if name.page == self.current_page:
+            return PRIORITY_CURRENT_PAGE_CONTROL
+        return PRIORITY_OLD_PAGE_CONTROL
+
+    # ------------------------------------------------------------------
+    # Sending application data
+    # ------------------------------------------------------------------
+
+    def send_data(self, data: Any, page: Optional[PageId] = None) -> AduName:
+        """Name and multicast a new ADU; returns the assigned name."""
+        if self.group is None:
+            raise RuntimeError("join a group before sending")
+        page = page if page is not None else self.current_page
+        seq = self._next_seq.get(page, 0) + 1
+        self._next_seq[page] = seq
+        name = AduName(self.node_id, page, seq)
+        self.store.put(name, data)
+        self.reception.mark_received(name)
+        self._transmit(KIND_DATA, DataPayload(name=name, data=data),
+                       ttl=DEFAULT_TTL, size=self.config.data_packet_size,
+                       priority=PRIORITY_NEW_DATA)
+        self.data_sent += 1
+        self.trace("send_data", name=name)
+        if self.fec is not None:
+            self.fec.on_data_sent(name, data)
+        if self.session is not None:
+            self.session.on_data_sent()
+        return name
+
+    def create_page(self, number: int) -> PageId:
+        """Create a new page owned by this member (wb semantics)."""
+        return PageId(creator=self.node_id, number=number)
+
+    def peek_next_seq(self, page: Optional[PageId] = None) -> int:
+        """The sequence number the next :meth:`send_data` will assign.
+
+        Lets applications bind metadata (e.g. integrity tags) to the
+        name before sending.
+        """
+        page = page if page is not None else self.current_page
+        return self._next_seq.get(page, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Separate recovery groups (Section VII-B2)
+    # ------------------------------------------------------------------
+
+    def join_recovery_group(self, group: GroupAddress,
+                            page: Optional[PageId] = None,
+                            source: Optional[int] = None) -> None:
+        """Route future requests for matching data onto ``group``.
+
+        ``page``/``source`` restrict the rule (None matches anything).
+        The member also joins the group so it hears the answering
+        traffic. Repairs always answer on the group the request arrived
+        on, so repliers need no rules of their own.
+        """
+        self.network.join(self.node_id, group)
+        self._joined_groups.add(group)
+        self._recovery_rules.append((page, source, group))
+
+    def leave_recovery_group(self, group: GroupAddress) -> None:
+        """Remove the rules for ``group`` and leave it."""
+        self._recovery_rules = [rule for rule in self._recovery_rules
+                                if rule[2] != group]
+        self._joined_groups.discard(group)
+        self.network.leave(self.node_id, group)
+
+    def _recovery_group_for(self, name: AduName) -> Optional[GroupAddress]:
+        for page, source, group in self._recovery_rules:
+            if page is not None and name.page != page:
+                continue
+            if source is not None and name.source != source:
+                continue
+            return group
+        return None
+
+    # ------------------------------------------------------------------
+    # Receive dispatch
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        if packet.is_multicast and packet.dst not in self._joined_groups:
+            # Another agent on this node joined that group; not ours.
+            return
+        if packet.kind == KIND_DATA:
+            payload: DataPayload = packet.payload
+            self._accept_data(payload.name, payload.data, is_repair=False)
+        elif packet.kind == KIND_REQUEST:
+            self._handle_request(packet)
+        elif packet.kind == KIND_REPAIR:
+            self._handle_repair(packet)
+        elif packet.kind == KIND_SESSION:
+            if self.session is not None:
+                self.session.handle(packet.payload)
+        elif packet.kind == KIND_PAGE_REQUEST:
+            self._handle_page_request(packet.payload)
+        elif packet.kind == KIND_PAGE_REPLY:
+            self._handle_page_reply(packet.payload)
+        elif packet.kind == KIND_FEC:
+            if self.fec is not None:
+                self.fec.on_parity_received(packet.payload)
+
+    # ------------------------------------------------------------------
+    # Loss detection and request timers
+    # ------------------------------------------------------------------
+
+    def on_loss_detected(self, name: AduName) -> None:
+        """Open loss-recovery state for ``name`` and set a request timer."""
+        if self.store.have(name) or name in self._requests:
+            return
+        now = self.now
+        if self.adaptive is not None and now > self._last_request_period_at:
+            # Fig. 9: close the previous request period and adjust (C1, C2)
+            # before the new request timer is set. Losses detected in the
+            # same instant share one period.
+            self.adaptive.request_period_start()
+        self._last_request_period_at = now
+        context = RequestContext(
+            name=name, detected_at=now,
+            timer=Timer(self.network.scheduler, lambda: None))
+        context.timer = Timer(self.network.scheduler,
+                              lambda: self._request_timer_expired(context),
+                              name=f"req:{name}@{self.node_id}")
+        context.request_ttl_used = self._request_ttl(name)
+        context.request_zone_used = self.config.request_scope_zone
+        context.group = self._recovery_group_for(name)
+        self._requests[name] = context
+        context.timer.start(self._draw_request_delay(name, 0))
+        self.losses_detected += 1
+        self.trace("loss_detected", name=name)
+
+    def _draw_request_delay(self, name: AduName, backoff_count: int) -> float:
+        distance = max(self.distances.distance(name.source), 0.0)
+        params = self.params
+        factor = self.config.backoff_factor() ** backoff_count
+        low = factor * params.c1 * distance
+        high = factor * (params.c1 + params.c2) * distance
+        if high <= 0.0:
+            # Zero distance estimate (or C1 = C2 = 0): fall back to a tiny
+            # randomized delay so simultaneous members still de-synchronize.
+            return self.rng.uniform(0.0, 1e-9)
+        return self.rng.uniform(low, high)
+
+    def _request_ttl(self, name: AduName) -> int:
+        if self.config.request_ttl is not None:
+            return self.config.request_ttl
+        return DEFAULT_TTL
+
+    def _request_timer_expired(self, context: RequestContext) -> None:
+        if context.done:
+            return
+        name = context.name
+        if context.rounds >= self.config.max_request_rounds:
+            context.done = True
+            self.trace("request_abandoned", name=name)
+            return
+        distance = self.distances.distance(name.source)
+        payload = RequestPayload(name=name, requester=self.node_id,
+                                 requester_distance_to_source=distance)
+        self._transmit(KIND_REQUEST, payload, ttl=context.request_ttl_used,
+                       size=self.config.control_packet_size,
+                       priority=self._control_priority(name),
+                       group=context.group,
+                       scope_zone=context.request_zone_used)
+        self.requests_sent += 1
+        context.rounds += 1
+        context.sent_request = True
+        self._observe_request(context, requester=self.node_id,
+                              reported_distance=distance)
+        if self.adaptive is not None:
+            self.adaptive.record_request_sent()
+        self.trace("send_request", name=name, round=context.rounds,
+                   ttl=context.request_ttl_used)
+        # "multicasts a request for the missing data, and doubles the
+        # request timer to wait for the repair."
+        self._backoff_request(context)
+
+    def _backoff_request(self, context: RequestContext) -> None:
+        context.backoff_count += 1
+        delay = self._draw_request_delay(context.name, context.backoff_count)
+        context.timer.reschedule(delay)
+        # Footnote 1's heuristic: ignore further duplicate requests until
+        # halfway between now and the new expiration time.
+        if self.config.ignore_backoff_enabled:
+            context.ignore_backoff_until = self.now + delay / 2.0
+        else:
+            context.ignore_backoff_until = float("-inf")
+
+    def _observe_request(self, context: RequestContext, requester: int,
+                         reported_distance: float) -> None:
+        """Count a request (ours or heard) against duplicate statistics."""
+        context.requests_observed += 1
+        if not context.first_request_seen:
+            context.first_request_seen = True
+            delay = self.now - context.detected_at
+            rtt = self.network.rtt(self.node_id, context.name.source)
+            ratio = delay / rtt if rtt > 0 else 0.0
+            via = "sent" if requester == self.node_id else "heard"
+            self.trace("first_request_event", name=context.name,
+                       delay=delay, rtt=rtt, ratio=ratio, via=via)
+            if self.adaptive is not None:
+                self.adaptive.record_request_delay(ratio)
+        elif context.requests_observed >= 2 and requester != self.node_id:
+            # Only requests *received* count as duplicates (the paper:
+            # "dup_req keeps count of the number of duplicate requests
+            # received during one request period"); our own
+            # retransmissions in a later iteration do not.
+            self.trace("dup_request_observed", name=context.name,
+                       requester=requester)
+            if self.adaptive is not None:
+                own_distance = self.distances.distance(context.name.source)
+                self.adaptive.record_duplicate_request(
+                    we_sent=context.sent_request,
+                    requester_distance=reported_distance,
+                    our_distance=own_distance)
+
+    # ------------------------------------------------------------------
+    # Handling requests from other members
+    # ------------------------------------------------------------------
+
+    def _handle_request(self, packet: Packet) -> None:
+        payload: RequestPayload = packet.payload
+        name = payload.name
+        if self.store.have(name):
+            self._consider_repair(packet, payload)
+            return
+        context = self._requests.get(name)
+        if context is not None and not context.done:
+            self._observe_request(context, requester=payload.requester,
+                                  reported_distance=(
+                                      payload.requester_distance_to_source))
+            if self.now >= context.ignore_backoff_until:
+                self._backoff_request(context)
+                self.trace("request_backoff", name=name,
+                           count=context.backoff_count)
+            else:
+                self.requests_suppressed += 1
+                self.trace("request_dup_ignored", name=name)
+            return
+        if context is not None:
+            return  # abandoned; nothing useful to do
+        if self.config.detect_loss_from_requests:
+            # A request reveals data we did not know existed: enter loss
+            # recovery directly in the backed-off state, as if our own
+            # timer had just been reset by this request.
+            newly_missing = self.reception.note_high_water(
+                name.source, name.page, name.seq)
+            for missing in newly_missing:
+                self.on_loss_detected(missing)
+            fresh = self._requests.get(name)
+            if fresh is not None:
+                self._observe_request(fresh, requester=payload.requester,
+                                      reported_distance=(
+                                          payload.requester_distance_to_source))
+                self._backoff_request(fresh)
+
+    def _consider_repair(self, packet: Packet,
+                         payload: RequestPayload) -> None:
+        name = payload.name
+        now = self.now
+        if now < self._holddown.get(name, float("-inf")):
+            self.trace("request_ignored_holddown", name=name)
+            return
+        existing = self._repairs.get(name)
+        if existing is not None and existing.timer.pending:
+            self.trace("request_while_repair_pending", name=name)
+            return
+        if self.adaptive is not None and name != self._last_repair_period_name:
+            # A repair period ends when a repair timer is set for a
+            # different data item.
+            self.adaptive.repair_period_start()
+        self._last_repair_period_name = name
+        context = RepairContext(
+            name=name, requester=payload.requester, set_at=now,
+            timer=Timer(self.network.scheduler, lambda: None),
+            request_initial_ttl=packet.initial_ttl,
+            request_hops=packet.hops_travelled(),
+            request_zone=packet.scope_zone,
+            reply_group=packet.dst if packet.dst != self.group else None)
+        context.timer = Timer(self.network.scheduler,
+                              lambda: self._repair_timer_expired(context),
+                              name=f"rep:{name}@{self.node_id}")
+        self._repairs[name] = context
+        context.timer.start(self._draw_repair_delay(payload.requester))
+        self.trace("repair_scheduled", name=name,
+                   requester=payload.requester)
+
+    def _draw_repair_delay(self, requester: int) -> float:
+        distance = max(self.distances.distance(requester), 0.0)
+        params = self.params
+        low = params.d1 * distance
+        high = (params.d1 + params.d2) * distance
+        if high <= 0.0:
+            return self.rng.uniform(0.0, 1e-9)
+        return self.rng.uniform(low, high)
+
+    def _repair_ttl(self, context: RepairContext) -> int:
+        mode = self.config.local_repair_mode
+        if mode is None or context.request_initial_ttl >= DEFAULT_TTL:
+            return DEFAULT_TTL
+        if mode == "one-step":
+            # Cover everything the request covered, from our position:
+            # the request's TTL plus our hop distance from the requester.
+            return context.request_initial_ttl + context.request_hops
+        if mode == "two-step":
+            # Step one: a local repair with the TTL the request used,
+            # naming the requester (who will re-multicast it).
+            return context.request_initial_ttl
+        raise ValueError(f"unknown local_repair_mode {mode!r}")
+
+    def _repair_timer_expired(self, context: RepairContext) -> None:
+        if context.done or not self.store.have(context.name):
+            return
+        name = context.name
+        mode = self.config.local_repair_mode
+        two_step = (mode == "two-step"
+                    and context.request_initial_ttl < DEFAULT_TTL)
+        distance = self.distances.distance(context.requester)
+        payload = RepairPayload(
+            name=name, data=self.store.get(name), replier=self.node_id,
+            answering=context.requester,
+            replier_distance_to_requester=distance,
+            local_step=two_step)
+        self._transmit(KIND_REPAIR, payload, ttl=self._repair_ttl(context),
+                       size=self.config.data_packet_size,
+                       priority=self._control_priority(name),
+                       group=context.reply_group,
+                       scope_zone=context.request_zone)
+        self.repairs_sent += 1
+        context.sent_repair = True
+        context.done = True
+        self._observe_repair(context, payload)
+        rtt = self.network.rtt(self.node_id, context.requester)
+        delay = self.now - context.set_at
+        ratio = delay / rtt if rtt > 0 else 0.0
+        if self.adaptive is not None:
+            self.adaptive.record_repair_delay(ratio)
+            self.adaptive.record_repair_sent()
+        self.trace("send_repair", name=name, two_step=two_step,
+                   delay=delay, ratio=ratio)
+        self._set_holddown(name, context.requester)
+
+    def _observe_repair(self, context: RepairContext,
+                        payload: RepairPayload) -> None:
+        context.repairs_observed += 1
+        if context.repairs_observed >= 2 and payload.replier != self.node_id:
+            self.trace("dup_repair_observed", name=context.name,
+                       replier=payload.replier)
+            if self.adaptive is not None:
+                own_distance = self.distances.distance(context.requester)
+                self.adaptive.record_duplicate_repair(
+                    we_sent=context.sent_repair,
+                    replier_distance=payload.replier_distance_to_requester,
+                    our_distance=own_distance)
+
+    def _set_holddown(self, name: AduName, first_requester: Optional[int]) -> None:
+        """Ignore requests for ``name`` for 3 * d(S, us) (Section III-B).
+
+        S is the source of the first request when known, else the
+        original source of the data.
+        """
+        anchor = first_requester if first_requester is not None else name.source
+        if anchor == self.node_id:
+            anchor = name.source
+        distance = self.distances.distance(anchor)
+        self._holddown[name] = (self.now
+                                + self.config.holddown_factor * distance)
+
+    # ------------------------------------------------------------------
+    # Handling repairs and original data
+    # ------------------------------------------------------------------
+
+    def _handle_repair(self, packet: Packet) -> None:
+        payload: RepairPayload = packet.payload
+        name = payload.name
+        arrival_group = packet.dst if packet.dst != self.group else None
+        repair_context = self._repairs.get(name)
+        if repair_context is not None and not repair_context.done:
+            if repair_context.timer.pending:
+                repair_context.timer.cancel()
+                repair_context.done = True
+                self.repairs_cancelled += 1
+                self.trace("repair_cancelled", name=name)
+            self._observe_repair(repair_context, payload)
+        elif repair_context is not None:
+            self._observe_repair(repair_context, payload)
+        self._accept_data(name, payload.data, is_repair=True,
+                          first_requester=payload.answering)
+        if payload.local_step and payload.answering == self.node_id:
+            self._second_step_repair(name, payload, arrival_group)
+
+    def _second_step_repair(self, name: AduName, payload: RepairPayload,
+                            group: Optional[GroupAddress] = None) -> None:
+        """Step two of two-step local recovery (Section VII-B3).
+
+        The original requester, on receiving the local repair naming
+        itself, re-multicasts the repair with the TTL it used for its
+        original request, guaranteeing coverage of every member that saw
+        the request.
+        """
+        request_context = self._requests.get(name)
+        ttl = (request_context.request_ttl_used
+               if request_context is not None else DEFAULT_TTL)
+        resend = RepairPayload(name=name, data=payload.data,
+                               replier=self.node_id, answering=None,
+                               local_step=False)
+        self._transmit(KIND_REPAIR, resend, ttl=ttl,
+                       size=self.config.data_packet_size,
+                       priority=self._control_priority(name),
+                       group=group)
+        self.repairs_sent += 1
+        self.trace("send_repair_second_step", name=name, ttl=ttl)
+
+    def _accept_data(self, name: AduName, data: Any, is_repair: bool,
+                     first_requester: Optional[int] = None) -> None:
+        if self.store.have(name):
+            if is_repair:
+                self._set_holddown(name, first_requester)
+            return
+        self.store.put(name, data)
+        newly_missing = self.reception.mark_received(name)
+        context = self._requests.get(name)
+        if context is not None and not context.done:
+            context.done = True
+            context.timer.cancel()
+            delay = self.now - context.detected_at
+            rtt = self.network.rtt(self.node_id, name.source)
+            ratio = delay / rtt if rtt > 0 else 0.0
+            if not context.first_request_seen:
+                # Recovered without ever seeing a request (e.g. reordered
+                # original data or a scoped repair): close the waiting
+                # period for the delay statistics.
+                context.first_request_seen = True
+                self.trace("first_request_event", name=name, delay=delay,
+                           rtt=rtt, ratio=ratio, via="data")
+                if self.adaptive is not None:
+                    self.adaptive.record_request_delay(ratio)
+            self.trace("data_recovered", name=name, delay=delay, rtt=rtt,
+                       ratio=ratio, via="repair" if is_repair else "data")
+        if is_repair:
+            self._set_holddown(name, first_requester)
+        self.data_received += 1
+        self.trace("recv_data", name=name, repair=is_repair)
+        if self.fec is not None:
+            self.fec.on_data_received(name, data)
+        if self.on_app_receive is not None:
+            self.on_app_receive(name, data)
+        for missing in newly_missing:
+            self.on_loss_detected(missing)
+
+    # ------------------------------------------------------------------
+    # Page state recovery (late join / browsing history)
+    # ------------------------------------------------------------------
+
+    def request_page_state(self, page: PageId) -> None:
+        """Ask the group for the sequence-number state of ``page``.
+
+        The recovery protocol mirrors data recovery: the request timer is
+        distance-randomized against the page creator, replies are
+        suppressed like repairs.
+        """
+        if page in self._page_requests and \
+                self._page_requests[page].timer.pending:
+            return
+        context = PageRequestContext(
+            page=page, timer=Timer(self.network.scheduler, lambda: None))
+        context.timer = Timer(
+            self.network.scheduler,
+            lambda: self._page_request_timer_expired(context),
+            name=f"pagereq:{page}@{self.node_id}")
+        self._page_requests[page] = context
+        distance = self._distance_or_default(page.creator)
+        params = self.params
+        low = params.c1 * distance
+        high = (params.c1 + params.c2) * distance
+        context.timer.start(self.rng.uniform(low, max(high, 1e-9)))
+
+    def _page_request_timer_expired(self, context: PageRequestContext) -> None:
+        if context.done:
+            return
+        payload = PageRequestPayload(page=context.page,
+                                     requester=self.node_id)
+        self.network.send_multicast(
+            self.node_id, self.group, KIND_PAGE_REQUEST, payload,
+            size=self.config.control_packet_size)
+        context.done = True
+        self.trace("send_page_request", page=str(context.page))
+
+    def _handle_page_request(self, payload: PageRequestPayload) -> None:
+        page = payload.page
+        own = self._page_requests.get(page)
+        if own is not None and not own.done and not own.is_reply:
+            # Another member asked first; suppress our page request.
+            own.timer.cancel()
+            own.done = True
+            self.trace("page_request_suppressed", page=str(page))
+        state = self.reception.page_state(page)
+        if not state:
+            return
+        if own is not None and own.is_reply and own.timer.pending:
+            return
+        reply_context = PageRequestContext(
+            page=page, timer=Timer(self.network.scheduler, lambda: None),
+            is_reply=True)
+        reply_context.timer = Timer(
+            self.network.scheduler,
+            lambda: self._page_reply_timer_expired(reply_context),
+            name=f"pagerep:{page}@{self.node_id}")
+        self._page_requests[page] = reply_context
+        distance = self.distances.distance(payload.requester)
+        params = self.params
+        low = params.d1 * distance
+        high = (params.d1 + params.d2) * distance
+        reply_context.timer.start(self.rng.uniform(low, max(high, 1e-9)))
+
+    def _page_reply_timer_expired(self, context: PageRequestContext) -> None:
+        if context.done:
+            return
+        payload = PageReplyPayload(
+            page=context.page, replier=self.node_id,
+            page_state=self.reception.page_state(context.page))
+        self.network.send_multicast(
+            self.node_id, self.group, KIND_PAGE_REPLY, payload,
+            size=self.config.control_packet_size)
+        context.done = True
+        self.trace("send_page_reply", page=str(context.page))
+
+    def _handle_page_reply(self, payload: PageReplyPayload) -> None:
+        context = self._page_requests.get(payload.page)
+        if context is not None and context.timer.pending:
+            # Someone else replied first: suppress our reply (and any
+            # still-pending request for the same page).
+            context.timer.cancel()
+            context.done = True
+            self.trace("page_reply_suppressed", page=str(payload.page))
+        for (source, page), high_seq in payload.page_state.items():
+            if source == self.node_id:
+                continue
+            for missing in self.reception.note_high_water(source, page,
+                                                          high_seq):
+                self.on_loss_detected(missing)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, applications)
+    # ------------------------------------------------------------------
+
+    def pending_requests(self) -> list[AduName]:
+        return sorted(name for name, ctx in self._requests.items()
+                      if not ctx.done)
+
+    def pending_repairs(self) -> list[AduName]:
+        return sorted(name for name, ctx in self._repairs.items()
+                      if not ctx.done and ctx.timer.pending)
+
+    def holddown_active(self, name: AduName) -> bool:
+        return self.now < self._holddown.get(name, float("-inf"))
+
+    def reset_recovery_state(self) -> None:
+        """Drop per-loss bookkeeping between experiment rounds.
+
+        Data and reception state are kept; request/repair contexts,
+        hold-downs and page-request state are discarded. Adaptive EWMAs
+        persist (that is the point of Figs. 12-14).
+        """
+        for context in self._requests.values():
+            context.timer.cancel()
+        for repair_context in self._repairs.values():
+            repair_context.timer.cancel()
+        for page_context in self._page_requests.values():
+            page_context.timer.cancel()
+        self._requests.clear()
+        self._repairs.clear()
+        self._page_requests.clear()
+        self._holddown.clear()
+        self._last_repair_period_name = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SrmAgent node={self.node_id} "
+                f"store={len(self.store)} "
+                f"pending_req={len(self.pending_requests())}>")

@@ -1,0 +1,120 @@
+"""SRM wire messages (packet payloads).
+
+Four message kinds flow in an SRM session: original data, repair requests,
+repairs, and periodic session messages. Requests name data by its unique
+persistent :class:`~repro.core.names.AduName` and are addressed to the
+group, never to a specific sender — any member holding the data may answer
+(Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.names import AduName, PageId
+
+#: Packet ``kind`` tags used by SRM agents.
+KIND_DATA = "srm-data"
+KIND_REQUEST = "srm-request"
+KIND_REPAIR = "srm-repair"
+KIND_SESSION = "srm-session"
+KIND_PAGE_REQUEST = "srm-page-request"
+KIND_PAGE_REPLY = "srm-page-reply"
+
+
+@dataclass(frozen=True)
+class DataPayload:
+    """Original data multicast by its source."""
+
+    name: AduName
+    data: Any
+
+
+@dataclass(frozen=True)
+class RequestPayload:
+    """A repair request.
+
+    ``requester_distance_to_source`` is the requester's estimated one-way
+    delay to the original source of the missing data; the adaptive
+    algorithm uses it for the "duplicates from farther members" C1
+    reduction, which "requires that requests include the requestor's
+    estimated distance from the original source" (Section VII-A).
+    """
+
+    name: AduName
+    requester: int
+    requester_distance_to_source: float = 0.0
+
+
+@dataclass(frozen=True)
+class RepairPayload:
+    """A retransmission of named data.
+
+    ``answering`` is the requester whose request triggered this repair —
+    carried so two-step local repairs can name the original requester
+    (Section VII-B3) — and ``replier_distance_to_requester`` feeds the
+    corresponding adaptive mechanism for replies.
+    """
+
+    name: AduName
+    data: Any
+    replier: int
+    answering: Optional[int] = None
+    replier_distance_to_requester: float = 0.0
+    #: True for the first (local) step of a two-step repair; the named
+    #: requester reacts by re-multicasting at the original request scope.
+    local_step: bool = False
+
+
+@dataclass(frozen=True)
+class SessionTimestamp:
+    """Per-peer timestamp echo for the simplified-NTP distance estimate.
+
+    Peer B's session message carries, for each peer A it has heard from,
+    A's original send time ``t1`` and the turnaround ``delta = t3 - t2``
+    (B's holding time). A receives it at t4 and estimates the one-way
+    distance as ``((t4 - t1) - delta) / 2``.
+    """
+
+    t1: float
+    delta: float
+
+
+@dataclass(frozen=True)
+class PageRequestPayload:
+    """A request for the sequence-number state of a page.
+
+    Used by receivers browsing previous pages or joining late (Section
+    III-A); "the page state recovery protocol ... is almost identical to
+    the repair request/response protocol for data".
+    """
+
+    page: PageId
+    requester: int
+
+
+@dataclass(frozen=True)
+class PageReplyPayload:
+    """The reply: highest sequence number per source on the page."""
+
+    page: PageId
+    replier: int
+    page_state: Dict[Tuple[int, PageId], int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SessionPayload:
+    """A periodic session message (Section III-A).
+
+    ``page_state`` reports, for the page the member is currently viewing,
+    the highest sequence number received from each active source on that
+    page — which is how tail losses (a dropped *last* packet) get
+    detected. ``echoes`` carries the timestamp echoes for every peer.
+    """
+
+    member: int
+    sent_at: float
+    page: PageId
+    page_state: Dict[Tuple[int, PageId], int] = field(default_factory=dict)
+    echoes: Dict[int, SessionTimestamp] = field(default_factory=dict)

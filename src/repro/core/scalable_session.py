@@ -1,0 +1,141 @@
+"""Hierarchical (scalable) session messages (Section IX-A).
+
+"For larger groups, we are investigating a hierarchical approach for
+scalable session messages, where members in a local area dynamically
+select one of the local members to be the representative ... The
+representatives would each send global session messages, and maintain an
+estimate of their distance in seconds from each of the other
+representatives. All other members would send local session messages
+with limited scope sufficient to reach their representative."
+
+:class:`SessionHierarchy` implements that structure on top of the
+administrative-scope machinery: the caller partitions the session into
+areas (node sets that are connected in the topology, e.g. subtrees); one
+representative is elected per area (lowest node id by default, as a
+stand-in for the paper's unspecified dynamic election); everyone else's
+session messages are confined to the area's scope zone.
+
+The payoff is measurable: per reporting interval, global receptions drop
+from O(G^2) to O(R^2 + sum of area sizes squared); see
+``tests/test_scalable_session.py`` and the example output of
+``session_load_model``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.agent import SrmAgent
+from repro.net.network import Network
+from repro.net.packet import NodeId
+
+
+class SessionHierarchy:
+    """Representative-based session-message scoping for one session."""
+
+    def __init__(self, network: Network,
+                 agents: Mapping[NodeId, SrmAgent],
+                 areas: Mapping[str, Iterable[NodeId]],
+                 representatives: Optional[Mapping[str, NodeId]] = None,
+                 ) -> None:
+        """Partition the session and scope the non-representatives.
+
+        ``areas`` maps an area name to the *node set* of that area; the
+        set must contain every router on the paths between its members
+        (scoped packets cannot cross the zone boundary). Members not in
+        any area keep sending globally.
+        """
+        self.network = network
+        self.agents = dict(agents)
+        self.areas: Dict[str, List[NodeId]] = {
+            name: sorted(nodes) for name, nodes in areas.items()}
+        self._check_disjoint_members()
+        self.representatives: Dict[str, NodeId] = {}
+        for name, nodes in self.areas.items():
+            members_in_area = [node for node in nodes if node in self.agents]
+            if not members_in_area:
+                raise ValueError(f"area {name!r} contains no session member")
+            if representatives and name in representatives:
+                rep = representatives[name]
+                if rep not in members_in_area:
+                    raise ValueError(
+                        f"representative {rep} is not a member of {name!r}")
+            else:
+                rep = min(members_in_area)
+            self.representatives[name] = rep
+        self._apply()
+
+    def _check_disjoint_members(self) -> None:
+        seen: Dict[NodeId, str] = {}
+        for name, nodes in self.areas.items():
+            for node in nodes:
+                if node in self.agents and node in seen:
+                    raise ValueError(
+                        f"member {node} is in areas {seen[node]!r} "
+                        f"and {name!r}")
+                seen.setdefault(node, name)
+
+    def _zone_name(self, area: str) -> str:
+        return f"session-area:{area}"
+
+    def _apply(self) -> None:
+        for name, nodes in self.areas.items():
+            zone = self._zone_name(name)
+            self.network.define_scope_zone(zone, nodes)
+            rep = self.representatives[name]
+            for node in nodes:
+                agent = self.agents.get(node)
+                if agent is None or agent.session is None:
+                    continue
+                agent.session.scope_zone = None if node == rep else zone
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def representative_of(self, node: NodeId) -> Optional[NodeId]:
+        for name, nodes in self.areas.items():
+            if node in nodes:
+                return self.representatives[name]
+        return None
+
+    def area_of(self, node: NodeId) -> Optional[str]:
+        for name, nodes in self.areas.items():
+            if node in nodes:
+                return name
+        return None
+
+    def global_senders(self) -> List[NodeId]:
+        """Members whose session messages reach the whole group."""
+        scoped: set = set()
+        for name, nodes in self.areas.items():
+            rep = self.representatives[name]
+            scoped.update(node for node in nodes
+                          if node in self.agents and node != rep)
+        return sorted(node for node in self.agents if node not in scoped)
+
+    def dissolve(self) -> None:
+        """Back to flat session messages everywhere."""
+        for agent in self.agents.values():
+            if agent.session is not None:
+                agent.session.scope_zone = None
+
+
+def session_load_model(group_size: int,
+                       area_sizes: Sequence[int]) -> Dict[str, float]:
+    """Receptions per reporting interval, flat vs. hierarchical.
+
+    Flat: every one of G members' messages is received by G-1 others.
+    Hierarchical: R representatives reach everyone; the other members
+    reach only their area.
+    """
+    if sum(area_sizes) > group_size:
+        raise ValueError("areas larger than the group")
+    flat = group_size * (group_size - 1)
+    reps = len(area_sizes)
+    outside = group_size - sum(area_sizes)
+    hierarchical = (reps + outside) * (group_size - 1)
+    for size in area_sizes:
+        hierarchical += (size - 1) * (size - 1)
+    return {"flat": float(flat), "hierarchical": float(hierarchical),
+            "reduction": flat / max(1.0, hierarchical)}

@@ -1,0 +1,186 @@
+"""Session messages and distance estimation (Section III-A).
+
+Each member multicasts low-rate periodic session messages that (a) report
+the highest sequence number received per active source on the page the
+member is viewing — which lets receivers detect the loss of the *last*
+packet in a burst — and (b) carry timestamps from which members estimate
+pairwise one-way distances with a highly simplified version of the NTP
+algorithm. The sending rate follows the vat rule: the aggregate session
+bandwidth is limited to a small fraction (default 5%) of the session data
+bandwidth, so the per-member interval grows linearly with the group size.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.core.messages import KIND_SESSION, SessionPayload, SessionTimestamp
+from repro.sim.timers import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.agent import SrmAgent
+    from repro.net.packet import NodeId
+
+
+class DistanceEstimator:
+    """Interface: one-way delay estimates from this member to peers."""
+
+    def distance(self, peer: "NodeId") -> float:
+        raise NotImplementedError
+
+
+class OracleDistance(DistanceEstimator):
+    """True shortest-path delays straight from the topology.
+
+    The paper's experiments assume each member knows its distance to every
+    other member ("the session packet timestamps are used to estimate the
+    host-to-host distances"); the oracle models fully converged estimates.
+    """
+
+    def __init__(self, agent: "SrmAgent") -> None:
+        self._agent = agent
+
+    def distance(self, peer: "NodeId") -> float:
+        return self._agent.network.distance(self._agent.node_id, peer)
+
+
+class SessionDistance(DistanceEstimator):
+    """Distances learned from session-message timestamp echoes."""
+
+    def __init__(self, default: float = 1.0) -> None:
+        self.default = default
+        self.estimates: Dict["NodeId", float] = {}
+
+    def distance(self, peer: "NodeId") -> float:
+        return self.estimates.get(peer, self.default)
+
+    def update(self, peer: "NodeId", estimate: float) -> None:
+        # One-way delays cannot be negative; clock skew in the simulator
+        # is zero but the clamp keeps the estimator robust by construction.
+        self.estimates[peer] = max(0.0, estimate)
+
+
+class SessionProtocol:
+    """The periodic session-message machinery for one agent."""
+
+    def __init__(self, agent: "SrmAgent") -> None:
+        self.agent = agent
+        self.config = agent.config
+        #: Peers heard from: peer -> (their last send time, our receive time).
+        self.last_heard: Dict["NodeId", tuple[float, float]] = {}
+        self.messages_sent = 0
+        #: Administrative scope for this member's session messages; set
+        #: by the Section IX-A hierarchy for non-representatives so their
+        #: reports stay within the local area.
+        self.scope_zone: Optional[str] = None
+        #: Current variable-heartbeat interval; None when idle (the vat
+        #: interval applies).
+        self._heartbeat: Optional[float] = None
+        self._timer: Optional[Timer] = None
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic reporting (jittered to avoid synchronization)."""
+        self._timer = Timer(self.agent.network.scheduler, self._on_timer,
+                            name=f"session@{self.agent.node_id}")
+        self._timer.start(self.agent.rng.uniform(0.0, self.interval()))
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def group_size_estimate(self) -> int:
+        """Members heard from recently, plus ourselves (the vat input)."""
+        return len(self.last_heard) + 1
+
+    def interval(self) -> float:
+        """Per-member reporting interval under the vat bandwidth rule.
+
+        Aggregate session traffic of G members sending one message of
+        size s every T units is G*s/T; capping it at fraction f of the
+        data bandwidth B gives T = G*s/(f*B).
+        """
+        cfg = self.config
+        budget = cfg.session_bandwidth_fraction * cfg.session_data_bandwidth
+        scaled = (self.group_size_estimate() * cfg.session_message_size
+                  / budget)
+        return max(cfg.session_min_interval, scaled)
+
+    def _on_timer(self) -> None:
+        self.send_session_message()
+        assert self._timer is not None
+        self._timer.start(self.agent.rng.jitter(self._next_interval()))
+
+    def _next_interval(self) -> float:
+        """The gap until the next report, honoring variable heartbeat."""
+        base = self.interval()
+        if self._heartbeat is None:
+            return base
+        current = self._heartbeat
+        grown = current * self.config.heartbeat_growth
+        if grown >= base:
+            self._heartbeat = None  # decayed back to the vat schedule
+        else:
+            self._heartbeat = grown
+        return min(current, base)
+
+    def on_data_sent(self) -> None:
+        """LBRM variable heartbeat: a transmission resets the schedule to
+        the minimum interval so the high-water report follows the data
+        closely (Section VIII)."""
+        if not self.config.session_variable_heartbeat:
+            return
+        self._heartbeat = self.config.heartbeat_min_interval
+        if self._timer is not None and self._timer.pending:
+            remaining = self._timer.time_remaining()
+            if remaining > self._heartbeat:
+                self._timer.start(
+                    self.agent.rng.jitter(self._heartbeat, 0.2))
+
+    def send_session_message(self) -> None:
+        agent = self.agent
+        now = agent.now
+        echoes = {
+            peer: SessionTimestamp(t1=their_send, delta=now - our_receive)
+            for peer, (their_send, our_receive) in self.last_heard.items()
+        }
+        payload = SessionPayload(
+            member=agent.node_id,
+            sent_at=now,
+            page=agent.current_page,
+            page_state=agent.reception.page_state(agent.current_page),
+            echoes=echoes,
+        )
+        agent.network.send_multicast(
+            agent.node_id, agent.group, KIND_SESSION, payload,
+            size=self.config.session_message_size,
+            scope_zone=self.scope_zone)
+        self.messages_sent += 1
+        agent.trace("send_session", scoped=self.scope_zone is not None)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def handle(self, payload: SessionPayload) -> None:
+        agent = self.agent
+        now = agent.now
+        self.last_heard[payload.member] = (payload.sent_at, now)
+        echo = payload.echoes.get(agent.node_id)
+        if echo is not None and isinstance(
+                agent.distances, SessionDistance):
+            # t1: our send; echo.delta: peer's holding time; now: t4.
+            estimate = ((now - echo.t1) - echo.delta) / 2.0
+            agent.distances.update(payload.member, estimate)
+        # Reception-state reports reveal tail losses.
+        for (source, page), high_seq in payload.page_state.items():
+            if source == agent.node_id:
+                continue
+            newly_missing = agent.reception.note_high_water(
+                source, page, high_seq)
+            for name in newly_missing:
+                agent.on_loss_detected(name)

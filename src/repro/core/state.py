@@ -1,0 +1,183 @@
+"""Per-member data store and reception state.
+
+:class:`DataStore` enforces the naming invariants of Section II-C ("the
+name always refers to the same data"); :class:`ReceptionState` tracks, per
+(source, page), which sequence numbers have been received and computes the
+gaps that drive loss detection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.names import AduName, PageId
+
+StreamKey = Tuple[int, PageId]
+
+
+class NameRebindError(ValueError):
+    """Raised when an application tries to bind a name to different data."""
+
+
+class DataStore:
+    """Holds ADU payloads by name.
+
+    Members do not need to keep all data forever; reliable delivery only
+    needs each item to survive at *some* member (Section III). ``evict``
+    models a member discarding old pages.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[AduName, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, name: AduName) -> bool:
+        return name in self._data
+
+    def have(self, name: AduName) -> bool:
+        return name in self._data
+
+    def put(self, name: AduName, data: Any) -> bool:
+        """Bind ``name`` to ``data``; returns True when newly stored.
+
+        Rebinding a name to *different* data raises
+        :class:`NameRebindError` — changing content must be done with new
+        drawops under new names, never by mutating an existing name.
+        """
+        existing = self._data.get(name)
+        if name in self._data:
+            if existing != data:
+                raise NameRebindError(
+                    f"name {name} already bound to different data")
+            return False
+        self._data[name] = data
+        return True
+
+    def get(self, name: AduName) -> Any:
+        return self._data[name]
+
+    def evict(self, name: AduName) -> None:
+        self._data.pop(name, None)
+
+    def evict_page(self, page: PageId) -> int:
+        """Discard all data on a page; returns the number evicted."""
+        victims = [name for name in self._data if name.page == page]
+        for name in victims:
+            del self._data[name]
+        return len(victims)
+
+    def names_on_page(self, page: PageId) -> List[AduName]:
+        return sorted(name for name in self._data if name.page == page)
+
+
+class ReceptionState:
+    """Tracks received sequence numbers per (source, page) stream.
+
+    Loss detection is "generally by detecting a gap in the sequence
+    space" (Section III). Streams start at sequence 1; receiving seq k
+    therefore implies names 1..k-1 exist and any not yet received are
+    missing. Session messages extend the known-high-water mark for tail
+    losses.
+
+    ``adopt_streams=True`` changes the late-join behavior: the first
+    packet heard from a stream defines that stream's starting point, and
+    earlier history is never considered missing. This is the right mode
+    for live substreams (the receiver-driven layering of Section IX-C),
+    where a subscriber wants the stream from now on, not its past.
+    """
+
+    def __init__(self, first_seq: int = 1,
+                 adopt_streams: bool = False) -> None:
+        self.first_seq = first_seq
+        self.adopt_streams = adopt_streams
+        self._received: Dict[StreamKey, Set[int]] = {}
+        self._high: Dict[StreamKey, int] = {}
+        #: Per-stream starting seq (used when adopting streams).
+        self._base: Dict[StreamKey, int] = {}
+
+    def streams(self) -> List[StreamKey]:
+        return sorted(self._high, key=lambda key: (key[0], key[1]))
+
+    def _stream_base(self, key: StreamKey) -> int:
+        """The first sequence number this member cares about."""
+        return self._base.get(key, self.first_seq)
+
+    def highest_seq(self, source: int, page: PageId) -> int:
+        """Highest sequence number known to exist (0 if none)."""
+        key = (source, page)
+        return self._high.get(key, self._stream_base(key) - 1)
+
+    def has_received(self, name: AduName) -> bool:
+        received = self._received.get((name.source, name.page))
+        return received is not None and name.seq in received
+
+    def mark_received(self, name: AduName) -> List[AduName]:
+        """Record receipt of ``name``; returns newly-discovered gaps.
+
+        The returned names are sequence numbers below ``name.seq`` that
+        were revealed missing by this arrival (they were not previously
+        known to exist).
+        """
+        key = (name.source, name.page)
+        if (self.adopt_streams and key not in self._base
+                and key not in self._high):
+            # First contact with this stream: adopt it from here on and
+            # never treat its history as missing.
+            self._base[key] = name.seq
+        received = self._received.setdefault(key, set())
+        received.add(name.seq)
+        return self._raise_high_water(key, name.seq, exclude=name.seq)
+
+    def note_high_water(self, source: int, page: PageId,
+                        seq: int) -> List[AduName]:
+        """Learn (from a session message) that ``seq`` exists.
+
+        Returns the names newly discovered missing.
+        """
+        key = (source, page)
+        if (self.adopt_streams and key not in self._base
+                and key not in self._high):
+            # An adopted stream we have never received from: note that
+            # the data exists but do not chase its history.
+            self._base[key] = seq + 1
+            self._high[key] = seq
+            return []
+        if seq < self._stream_base(key):
+            return []
+        return self._raise_high_water(key, seq, exclude=None)
+
+    def _raise_high_water(self, key: StreamKey, seq: int,
+                          exclude: Optional[int]) -> List[AduName]:
+        base = self._stream_base(key)
+        previous_high = self._high.get(key, base - 1)
+        if seq > previous_high:
+            self._high[key] = seq
+        received = self._received.setdefault(key, set())
+        source, page = key
+        missing = []
+        for candidate in range(max(previous_high + 1, base), seq + 1):
+            if candidate == exclude or candidate in received:
+                continue
+            missing.append(AduName(source, page, candidate))
+        return missing
+
+    def missing(self, source: int, page: PageId) -> List[AduName]:
+        """All currently-missing names on a stream (for page requests)."""
+        key = (source, page)
+        received = self._received.get(key, set())
+        base = self._stream_base(key)
+        high = self._high.get(key, base - 1)
+        return [AduName(source, page, seq)
+                for seq in range(base, high + 1)
+                if seq not in received]
+
+    def page_state(self, page: PageId) -> Dict[StreamKey, int]:
+        """The session-message report: highest seq per source on a page."""
+        return {key: high for key, high in self._high.items()
+                if key[1] == page}
+
+    def complete(self, source: int, page: PageId) -> bool:
+        """True when no known name on the stream is missing."""
+        return not self.missing(source, page)

@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function returning a result object with
+(a) raw per-simulation rows and (b) a ``format_table()`` rendering the
+same series the paper plots. The benchmarks in ``benchmarks/`` are thin
+wrappers that execute these and assert the expected shapes.
+"""
+
+from repro.experiments.common import (
+    LossRecoverySimulation,
+    RoundOutcome,
+    Scenario,
+    candidate_drop_edges,
+    choose_scenario,
+    run_rounds,
+    run_single_round,
+)
+
+__all__ = [
+    "LossRecoverySimulation",
+    "RoundOutcome",
+    "Scenario",
+    "candidate_drop_edges",
+    "choose_scenario",
+    "run_rounds",
+    "run_single_round",
+]

@@ -1,0 +1,261 @@
+"""Shared machinery for the paper's loss-recovery experiments.
+
+The methodology of Section V, verbatim: build a topology; randomly choose
+G session members (a source among them); randomly choose a congested link
+on the shortest-path tree from the source; drop the first packet from the
+source on that link; the second packet (sent one unit later) triggers gap
+detection; run the request/repair algorithms until every affected member
+holds the data; count requests, repairs and per-member recovery delay in
+units of each member's RTT to the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.agent import SrmAgent
+from repro.core.config import SrmConfig
+from repro.core.names import AduName
+from repro.core.stats import LossEventReport, analyze_loss_event
+from repro.net.link import NthPacketDropFilter
+from repro.net.network import Network
+from repro.net.packet import NodeId
+from repro.sim.rng import RandomSource
+from repro.topology.spec import TopologySpec
+
+#: Safety horizon per round; recovery in these experiments completes in a
+#: few hundred units at most, and the event heap drains naturally.
+ROUND_EVENT_LIMIT = 5_000_000
+
+DropEdge = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class Scenario:
+    """One fully-specified experiment scenario."""
+
+    spec: TopologySpec
+    members: List[NodeId]
+    source: NodeId
+    drop_edge: DropEdge
+
+    @property
+    def session_size(self) -> int:
+        return len(self.members)
+
+
+def candidate_drop_edges(network: Network, source: NodeId,
+                         members: Sequence[NodeId]) -> List[DropEdge]:
+    """Directed source-tree edges whose loss affects at least one member.
+
+    These are the links "on the shortest-path tree from source to the
+    members of the multicast group" where a drop produces a loss event.
+    """
+    tree = network.source_tree(source)
+    member_set = set(members) - {source}
+    needed = set()
+    for member in member_set:
+        for parent, child in tree.path_edges(member):
+            needed.add((parent, child))
+    return sorted(needed)
+
+
+def choose_scenario(spec: TopologySpec, session_size: int,
+                    rng: RandomSource,
+                    adjacent_drop: bool = False,
+                    network: Optional[Network] = None) -> Scenario:
+    """Randomly draw members, source and congested link for a topology.
+
+    ``adjacent_drop=True`` restricts the congested link to one adjacent to
+    the source (the paper's alternative placement).
+    """
+    if session_size > spec.num_nodes:
+        raise ValueError("session larger than the topology")
+    members = sorted(rng.sample(range(spec.num_nodes), session_size))
+    source = rng.choice(members)
+    if network is None:
+        network = spec.build()
+    edges = candidate_drop_edges(network, source, members)
+    if adjacent_drop:
+        adjacent = [edge for edge in edges if edge[0] == source]
+        if adjacent:
+            edges = adjacent
+    if not edges:
+        raise ValueError("no candidate congested link (single-member session?)")
+    drop_edge = rng.choice(edges)
+    return Scenario(spec=spec, members=members, source=source,
+                    drop_edge=drop_edge)
+
+
+@dataclass
+class RoundOutcome:
+    """The per-round metrics every figure consumes."""
+
+    report: LossEventReport
+    name: AduName
+    requests: int
+    repairs: int
+    duplicate_requests: int
+    duplicate_repairs: int
+    last_member_ratio: Optional[float]
+    #: Request delay (in RTT units) of the affected member closest to the
+    #: source; for ties, the smallest delay among members at that distance
+    #: (Section VI's definition).
+    closest_request_ratio: Optional[float]
+    recovered: bool
+
+
+class LossRecoverySimulation:
+    """A persistent session running successive single-drop rounds.
+
+    The same network, agents and (when adaptive) timer state carry across
+    rounds — exactly the setup of Figs. 12-14, and a single round of it is
+    the setup of Figs. 3-8.
+    """
+
+    def __init__(self, scenario: Scenario, config: Optional[SrmConfig] = None,
+                 seed: int = 0, delivery: str = "direct") -> None:
+        self.scenario = scenario
+        self.config = config if config is not None else SrmConfig()
+        self.master_rng = RandomSource(seed)
+        self.network = scenario.spec.build(delivery=delivery)
+        self.network.trace.enabled = True
+        self.group = self.network.groups.allocate("session")
+        self.agents: Dict[NodeId, SrmAgent] = {}
+        for member in scenario.members:
+            agent = SrmAgent(self.config,
+                             self.master_rng.fork(f"member-{member}"))
+            self.network.attach(member, agent)
+            agent.join_group(self.group)
+            self.agents[member] = agent
+        self.source_agent = self.agents[scenario.source]
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------
+
+    def affected_members(self, drop_edge: Optional[DropEdge] = None
+                         ) -> List[NodeId]:
+        """Members below the congested link on the source's tree."""
+        drop_edge = drop_edge if drop_edge is not None else \
+            self.scenario.drop_edge
+        tree = self.network.source_tree(self.scenario.source)
+        below = tree.subtree(drop_edge[1])
+        return sorted(member for member in self.scenario.members
+                      if member in below and member != self.scenario.source)
+
+    def run_round(self, drop_edge: Optional[DropEdge] = None,
+                  trigger_gap: float = 1.0) -> RoundOutcome:
+        """Drop one packet, run recovery to quiescence, return metrics."""
+        scenario = self.scenario
+        drop_edge = drop_edge if drop_edge is not None else scenario.drop_edge
+        network = self.network
+        network.trace.clear()
+        network.clear_drop_filters()
+        for agent in self.agents.values():
+            agent.reset_recovery_state()
+        source = scenario.source
+        drop_filter = NthPacketDropFilter(
+            lambda packet: (packet.kind == "srm-data"
+                            and packet.origin == source))
+        network.add_drop_filter(drop_edge[0], drop_edge[1], drop_filter)
+
+        sent: List[AduName] = []
+
+        def send_dropped() -> None:
+            sent.append(self.source_agent.send_data(
+                f"round-{self.rounds_run}-payload"))
+
+        def send_trigger() -> None:
+            self.source_agent.send_data(f"round-{self.rounds_run}-trigger")
+
+        scheduler = network.scheduler
+        scheduler.schedule(0.0, send_dropped)
+        scheduler.schedule(trigger_gap, send_trigger)
+        scheduler.run(max_events=ROUND_EVENT_LIMIT)
+        self.rounds_run += 1
+
+        name = sent[0]
+        report = analyze_loss_event(network.trace, name)
+        return self._outcome(report, name)
+
+    def _outcome(self, report: LossEventReport,
+                 name: AduName) -> RoundOutcome:
+        recovered = all(self.agents[member].store.have(name)
+                        for member in self.scenario.members)
+        return RoundOutcome(
+            report=report,
+            name=name,
+            requests=report.requests,
+            repairs=report.repairs,
+            duplicate_requests=report.duplicate_requests,
+            duplicate_repairs=report.duplicate_repairs,
+            last_member_ratio=report.last_member_recovery_ratio(),
+            closest_request_ratio=self._closest_request_ratio(report),
+            recovered=recovered)
+
+    def _closest_request_ratio(self,
+                               report: LossEventReport) -> Optional[float]:
+        if not report.request_waits:
+            return None
+        tree = self.network.source_tree(self.scenario.source)
+        closest_distance = min(tree.dist[member]
+                               for member in report.request_waits)
+        at_minimum = [timing for member, timing in
+                      report.request_waits.items()
+                      if tree.dist[member] == closest_distance]
+        return min(timing.ratio for timing in at_minimum)
+
+
+def run_single_round(scenario: Scenario, config: Optional[SrmConfig] = None,
+                     seed: int = 0) -> RoundOutcome:
+    """Convenience for the one-round figures (3-8)."""
+    simulation = LossRecoverySimulation(scenario, config=config, seed=seed)
+    return simulation.run_round()
+
+
+def run_rounds(scenario: Scenario, config: Optional[SrmConfig] = None,
+               rounds: int = 20, seed: int = 0) -> List[RoundOutcome]:
+    """Repeated independent rounds on one persistent session.
+
+    With fixed (non-adaptive) timer parameters, successive rounds differ
+    only in their random timer draws, so N rounds on one session are
+    statistically equivalent to N one-round simulations — but reuse the
+    topology, routing caches and agents, which is much faster.
+    """
+    simulation = LossRecoverySimulation(scenario, config=config, seed=seed)
+    return [simulation.run_round() for _ in range(rounds)]
+
+
+@dataclass
+class SeriesPoint:
+    """One x-axis point aggregated over many simulations."""
+
+    x: float
+    values: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, metric: str, value: Optional[float]) -> None:
+        if value is None:
+            return
+        self.values.setdefault(metric, []).append(value)
+
+    def series(self, metric: str) -> List[float]:
+        return self.values.get(metric, [])
+
+
+def format_quartile_table(points: List[SeriesPoint], metric: str,
+                          x_label: str, title: str) -> str:
+    """Render one median/quartile series the way the paper plots it."""
+    from repro.core.stats import quantiles
+
+    lines = [title, f"{x_label:>10}  {'q1':>8} {'median':>8} {'q3':>8} "
+                    f"{'mean':>8}  n"]
+    for point in points:
+        values = point.series(metric)
+        if not values:
+            continue
+        q1, median, q3 = quantiles(values)
+        mean_value = sum(values) / len(values)
+        lines.append(f"{point.x:>10.3g}  {q1:>8.3f} {median:>8.3f} "
+                     f"{q3:>8.3f} {mean_value:>8.3f}  {len(values)}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Figure 14: the adaptive algorithm at round 40, across the Fig. 4 sweep.
+
+"For each scenario (i.e., network topology, session membership, source
+member, and congested link) in Fig. 14, the adaptive algorithm is run
+repeatedly for 40 loss recovery rounds, and Fig. 14 shows the results
+from the 40th loss recovery round."
+
+Comparing against Fig. 4 shows the adaptive algorithm controlling the
+number of duplicates over a range of scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import SrmConfig
+from repro.experiments.common import (
+    LossRecoverySimulation,
+    SeriesPoint,
+    format_quartile_table,
+)
+from repro.experiments.figure4 import DEFAULT_SIZES, figure4_scenarios
+
+DEFAULT_ROUNDS = 40
+
+
+@dataclass
+class Figure14Result:
+    points: List[SeriesPoint]
+    rounds: int
+
+    def format_table(self) -> str:
+        sections = [
+            format_quartile_table(
+                self.points, "requests", "session",
+                f"Figure 14a: requests at round {self.rounds} (adaptive)"),
+            format_quartile_table(
+                self.points, "repairs", "session",
+                f"Figure 14b: repairs at round {self.rounds} (adaptive)"),
+            format_quartile_table(
+                self.points, "delay_ratio", "session",
+                f"Figure 14c: last-member recovery delay at round "
+                f"{self.rounds}"),
+        ]
+        return "\n\n".join(sections)
+
+
+def run_figure14(sizes: Sequence[int] = DEFAULT_SIZES,
+                 sims_per_size: int = 20, rounds: int = DEFAULT_ROUNDS,
+                 seed: int = 4,
+                 config: Optional[SrmConfig] = None) -> Figure14Result:
+    """Re-runs the exact Fig. 4 scenario sweep, adaptively, to round 40."""
+    base_config = config if config is not None else SrmConfig(adaptive=True)
+    if not base_config.adaptive:
+        raise ValueError("figure 14 requires an adaptive config")
+    scenarios = figure4_scenarios(sizes, sims_per_size, seed)
+    points = {size: SeriesPoint(x=size) for size in sizes}
+    for index, scenario in enumerate(scenarios):
+        simulation = LossRecoverySimulation(scenario, config=base_config,
+                                            seed=(seed * 524287 + index))
+        outcome = None
+        for _ in range(rounds):
+            outcome = simulation.run_round()
+        assert outcome is not None
+        point = points[scenario.session_size]
+        point.add("requests", outcome.requests)
+        point.add("repairs", outcome.repairs)
+        point.add("delay_ratio", outcome.last_member_ratio)
+    return Figure14Result(points=[points[size] for size in sizes],
+                          rounds=rounds)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_figure14(sizes=(20, 40, 60), sims_per_size=8,
+                       rounds=25).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,102 @@
+"""Figure 15: two-step TTL-scoped local recovery.
+
+"Local recovery with two-step repairs in bounded-degree trees with 1000
+nodes, thresholds of one." For each session size, twenty simulations with
+random membership, source and congested link — restricted, as in the
+paper, to "scenarios where the loss neighborhood contains at most 1/10th
+of the session members" — executing the *optimal* two-step algorithm
+(single request and repair from the members closest to the failure,
+request TTL = max(h, H)).
+
+Top panel: fraction of session members reached by the repair. Bottom
+panel: members reached by the repair as a multiple of the loss
+neighborhood size. Both should stay small and roughly flat with session
+size; the one-step variant is run alongside to show its inefficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.local import ideal_scoped_recovery, loss_neighborhood
+from repro.experiments.common import SeriesPoint, candidate_drop_edges, \
+    format_quartile_table
+from repro.net.network import Network
+from repro.sim.rng import RandomSource
+from repro.topology.btree import balanced_tree
+
+DEFAULT_SIZES = (50, 100, 150, 200, 250)
+NUM_NODES = 1000
+DEGREE = 4
+#: The paper restricts to loss neighborhoods of at most 1/10 the session.
+MAX_LOSS_FRACTION = 0.1
+
+
+@dataclass
+class Figure15Result:
+    points: List[SeriesPoint]
+    mode: str
+
+    def format_table(self) -> str:
+        sections = [
+            format_quartile_table(
+                self.points, "fraction", "session",
+                f"Figure 15 top ({self.mode}): fraction of session "
+                f"members reached by the repair"),
+            format_quartile_table(
+                self.points, "ratio", "session",
+                f"Figure 15 bottom ({self.mode}): repair neighborhood / "
+                f"loss neighborhood"),
+        ]
+        return "\n\n".join(sections)
+
+
+def _draw_scenario(network: Network, rng: RandomSource,
+                   session_size: int, num_nodes: int):
+    """Members/source/drop with a small, non-empty loss neighborhood."""
+    while True:
+        members = sorted(rng.sample(range(num_nodes), session_size))
+        source = rng.choice(members)
+        edges = candidate_drop_edges(network, source, members)
+        drop_parent, drop_child = rng.choice(edges)
+        losses = loss_neighborhood(network, source, drop_parent, drop_child,
+                                   members)
+        if not losses or len(losses) == len(members):
+            continue
+        if len(losses) <= MAX_LOSS_FRACTION * session_size:
+            return members, source, (drop_parent, drop_child)
+
+
+def run_figure15(sizes: Sequence[int] = DEFAULT_SIZES,
+                 sims_per_size: int = 20, num_nodes: int = NUM_NODES,
+                 degree: int = DEGREE, mode: str = "two-step",
+                 seed: int = 15) -> Figure15Result:
+    spec = balanced_tree(num_nodes, degree)
+    network = spec.build()
+    master = RandomSource(seed)
+    points = []
+    for size in sizes:
+        point = SeriesPoint(x=size)
+        for sim_index in range(sims_per_size):
+            rng = master.fork(f"fig15-{mode}-{size}-{sim_index}")
+            members, source, drop_edge = _draw_scenario(
+                network, rng, size, num_nodes)
+            outcome = ideal_scoped_recovery(
+                network, source, drop_edge[0], drop_edge[1], members,
+                mode=mode)
+            assert outcome.covered, "scoped repair must cover the loss"
+            point.add("fraction", outcome.fraction_of_session)
+            point.add("ratio", outcome.repair_to_loss_ratio)
+        points.append(point)
+    return Figure15Result(points=points, mode=mode)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_figure15().format_table())
+    print()
+    print(run_figure15(mode="one-step").format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,99 @@
+"""Figure 5: delay/duplicates tradeoff in a star topology.
+
+Star of G members, congested link adjacent to the source: the other G-1
+members detect the loss simultaneously, so only randomization
+(probabilistic suppression) limits the implosion. The figure sweeps the
+request timer parameter C2 from 0 to 100 (C1 fixed at 2, as Section VI
+states) and plots, per C2, the expected request delay of the closest bad
+member (in RTT units) against the expected number of requests — both the
+closed-form analysis of Section IV-B and simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.star import (
+    expected_first_request_delay_ratio,
+    expected_requests,
+)
+from repro.core.config import SrmConfig
+from repro.experiments.common import Scenario, SeriesPoint, run_rounds
+from repro.topology.star import star
+
+DEFAULT_C2_VALUES = tuple(range(0, 101, 4))
+GROUP_SIZE = 100
+
+
+@dataclass
+class Figure5Point:
+    c2: float
+    analysis_delay: float
+    analysis_requests: float
+    sim_delay_mean: float
+    sim_requests_mean: float
+    sims: int
+
+
+@dataclass
+class Figure5Result:
+    group_size: int
+    c1: float
+    points: List[Figure5Point]
+
+    def format_table(self) -> str:
+        lines = [
+            f"Figure 5: star topology, G={self.group_size}, C1={self.c1}",
+            f"{'C2':>6} {'delay(analysis)':>16} {'reqs(analysis)':>15} "
+            f"{'delay(sim)':>11} {'reqs(sim)':>10}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.c2:>6.0f} {point.analysis_delay:>16.3f} "
+                f"{point.analysis_requests:>15.2f} "
+                f"{point.sim_delay_mean:>11.3f} "
+                f"{point.sim_requests_mean:>10.2f}")
+        return "\n".join(lines)
+
+
+def star_scenario(group_size: int = GROUP_SIZE) -> Scenario:
+    """G leaves (all members), source leaf 1, drop adjacent to the source."""
+    spec = star(group_size)
+    members = list(range(1, group_size + 1))
+    return Scenario(spec=spec, members=members, source=1,
+                    drop_edge=(1, 0))
+
+
+def run_figure5(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
+                sims_per_value: int = 20, group_size: int = GROUP_SIZE,
+                c1: float = 2.0, seed: int = 5) -> Figure5Result:
+    scenario = star_scenario(group_size)
+    points = []
+    for c2 in c2_values:
+        config = SrmConfig(c1=c1, c2=float(c2))
+        point = SeriesPoint(x=c2)
+        for outcome in run_rounds(scenario, config=config,
+                                  rounds=sims_per_value,
+                                  seed=(seed * 104729 + int(c2) * 613)):
+            point.add("requests", outcome.requests)
+            point.add("delay", outcome.closest_request_ratio)
+        requests = point.series("requests")
+        delays = point.series("delay")
+        points.append(Figure5Point(
+            c2=float(c2),
+            analysis_delay=expected_first_request_delay_ratio(
+                group_size, c1, c2),
+            analysis_requests=expected_requests(group_size, c2),
+            sim_delay_mean=sum(delays) / len(delays),
+            sim_requests_mean=sum(requests) / len(requests),
+            sims=sims_per_value))
+    return Figure5Result(group_size=group_size, c1=c1, points=points)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_figure5().format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

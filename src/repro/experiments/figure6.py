@@ -1,0 +1,82 @@
+"""Figure 6: delay/duplicates tradeoff in a chain topology.
+
+For a chain, C2 = 0 is optimal — deterministic suppression yields exactly
+one request with the minimum delay — and increasing C2 can only increase
+both the expected delay and (slightly) the number of duplicates. The four
+series place the failed edge 1, 2, 5 and 10 hops from the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.config import SrmConfig
+from repro.experiments.common import Scenario, SeriesPoint, run_rounds
+from repro.topology.chain import chain
+
+#: The paper sweeps C2 over 0..10 by 1 then 10..100 by 10.
+DEFAULT_C2_VALUES = tuple(list(range(0, 11)) + list(range(20, 101, 10)))
+DEFAULT_FAILURE_HOPS = (1, 2, 5, 10)
+CHAIN_LENGTH = 100
+
+
+@dataclass
+class Figure6Result:
+    chain_length: int
+    c1: float
+    #: failure_hops -> list of per-C2 SeriesPoints.
+    series: Dict[int, List[SeriesPoint]]
+
+    def format_table(self) -> str:
+        lines = [f"Figure 6: chain of {self.chain_length} nodes, "
+                 f"C1={self.c1}; mean over sims per point"]
+        for hops, points in sorted(self.series.items()):
+            lines.append(f"-- failed edge {hops} hop(s) from the source --")
+            lines.append(f"{'C2':>6} {'delay/RTT':>10} {'requests':>9}")
+            for point in points:
+                delays = point.series("delay")
+                requests = point.series("requests")
+                lines.append(
+                    f"{point.x:>6.0f} "
+                    f"{sum(delays) / len(delays):>10.3f} "
+                    f"{sum(requests) / len(requests):>9.2f}")
+        return "\n".join(lines)
+
+
+def chain_scenario(failure_hops: int,
+                   chain_length: int = CHAIN_LENGTH) -> Scenario:
+    """Source at node 0, all nodes members, drop ``failure_hops`` out."""
+    spec = chain(chain_length)
+    return Scenario(spec=spec, members=list(range(chain_length)), source=0,
+                    drop_edge=(failure_hops - 1, failure_hops))
+
+
+def run_figure6(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
+                failure_hops: Sequence[int] = DEFAULT_FAILURE_HOPS,
+                sims_per_value: int = 20, chain_length: int = CHAIN_LENGTH,
+                c1: float = 2.0, seed: int = 6) -> Figure6Result:
+    series: Dict[int, List[SeriesPoint]] = {}
+    for hops in failure_hops:
+        scenario = chain_scenario(hops, chain_length)
+        points = []
+        for c2 in c2_values:
+            config = SrmConfig(c1=c1, c2=float(c2))
+            point = SeriesPoint(x=c2)
+            for outcome in run_rounds(
+                    scenario, config=config, rounds=sims_per_value,
+                    seed=(seed * 65537 + hops * 9973 + int(c2) * 613)):
+                point.add("requests", outcome.requests)
+                point.add("delay", outcome.closest_request_ratio)
+            points.append(point)
+        series[hops] = points
+    return Figure6Result(chain_length=chain_length, c1=c1, series=series)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run_figure6(sims_per_value=10)
+    print(result.format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,113 @@
+"""Figure 7: delay/duplicates tradeoff for dense sessions in trees.
+
+Bounded-degree tree, every node a member (density 1), session size at
+least 100. One series per failed-edge placement (1-4 hops from the
+source, which sits at the root); C2 sweeps 0..100 with C1 = 2. Each point
+reports the expected request delay (RTT units, closest bad member) and
+the expected number of requests.
+
+Expected shape: the placement closest to the source gives the worst-case
+duplicates, and duplicates are maximized at an *intermediate* C2 (they
+are minimal at C2 = 100, and at very small C2 the level-0 node's request
+is out so fast that deeper levels are deterministically suppressed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.config import SrmConfig
+from repro.experiments.common import (
+    Scenario,
+    SeriesPoint,
+    run_rounds,
+)
+from repro.topology.btree import balanced_tree
+from repro.topology.spec import TopologySpec
+
+DEFAULT_C2_VALUES = (0, 1, 2, 3, 5, 8, 12, 20, 35, 60, 100)
+DEFAULT_HOPS = (1, 2, 3, 4)
+NUM_NODES = 120
+DEGREE = 4
+
+
+def drop_edge_at_hops(spec: TopologySpec, source: int, hops: int,
+                      members: Sequence[int]) -> tuple[int, int]:
+    """A source-tree edge whose upstream end is ``hops - 1`` hops from the
+    source, chosen deterministically (lowest child id) among edges that
+    cut off at least one member."""
+    network = spec.build()
+    tree = network.source_tree(source)
+    member_set = set(members)
+    candidates = []
+    for node in tree.nodes:
+        parent = tree.parent[node]
+        if parent is None or tree.hops[node] != hops:
+            continue
+        if member_set & tree.subtree(node):
+            candidates.append((parent, node))
+    if not candidates:
+        raise ValueError(f"no candidate edge at {hops} hops from {source}")
+    return min(candidates, key=lambda edge: edge[1])
+
+
+@dataclass
+class Figure7Result:
+    num_nodes: int
+    c1: float
+    series: Dict[int, List[SeriesPoint]]
+    label: str = "Figure 7"
+
+    def format_table(self) -> str:
+        lines = [f"{self.label}: tree of {self.num_nodes} nodes, C1={self.c1}"]
+        for hops, points in sorted(self.series.items()):
+            lines.append(f"-- failed edge {hops} hop(s) from the source --")
+            lines.append(f"{'C2':>6} {'delay/RTT':>10} {'requests':>9}")
+            for point in points:
+                delays = point.series("delay")
+                requests = point.series("requests")
+                lines.append(
+                    f"{point.x:>6.0f} "
+                    f"{sum(delays) / len(delays):>10.3f} "
+                    f"{sum(requests) / len(requests):>9.2f}")
+        return "\n".join(lines)
+
+    def mean_requests(self, hops: int) -> List[float]:
+        return [sum(p.series("requests")) / len(p.series("requests"))
+                for p in self.series[hops]]
+
+
+def run_figure7(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
+                hops_values: Sequence[int] = DEFAULT_HOPS,
+                sims_per_value: int = 20, num_nodes: int = NUM_NODES,
+                degree: int = DEGREE, c1: float = 2.0,
+                seed: int = 7) -> Figure7Result:
+    spec = balanced_tree(num_nodes, degree)
+    members = list(range(num_nodes))
+    source = 0
+    series: Dict[int, List[SeriesPoint]] = {}
+    for hops in hops_values:
+        drop_edge = drop_edge_at_hops(spec, source, hops, members)
+        scenario = Scenario(spec=spec, members=members, source=source,
+                            drop_edge=drop_edge)
+        points = []
+        for c2 in c2_values:
+            config = SrmConfig(c1=c1, c2=float(c2))
+            point = SeriesPoint(x=c2)
+            for outcome in run_rounds(
+                    scenario, config=config, rounds=sims_per_value,
+                    seed=(seed * 31337 + hops * 7919 + int(c2) * 613)):
+                point.add("requests", outcome.requests)
+                point.add("delay", outcome.closest_request_ratio)
+            points.append(point)
+        series[hops] = points
+    return Figure7Result(num_nodes=num_nodes, c1=c1, series=series)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_figure7(sims_per_value=10).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,61 @@
+"""Figure 8: delay/duplicates tradeoff for a sparse session in a tree.
+
+Same sweep as Fig. 7, but on a 1000-node degree-4 tree with a session of
+100 randomly-placed members. For sparse sessions, small C2 gives
+"unacceptably large numbers of requests"; increasing C2 reduces the
+duplicates at a moderate cost in delay.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import SrmConfig
+from repro.experiments.common import Scenario, SeriesPoint, run_rounds
+from repro.experiments.figure7 import Figure7Result, drop_edge_at_hops
+from repro.sim.rng import RandomSource
+from repro.topology.btree import balanced_tree
+
+DEFAULT_C2_VALUES = (0, 1, 2, 3, 5, 8, 12, 20, 35, 60, 100)
+DEFAULT_HOPS = (1, 2, 3, 4)
+NUM_NODES = 1000
+DEGREE = 4
+SESSION_SIZE = 100
+
+
+def run_figure8(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
+                hops_values: Sequence[int] = DEFAULT_HOPS,
+                sims_per_value: int = 20, num_nodes: int = NUM_NODES,
+                session_size: int = SESSION_SIZE, c1: float = 2.0,
+                seed: int = 8) -> Figure7Result:
+    spec = balanced_tree(num_nodes, DEGREE)
+    rng = RandomSource(seed)
+    members = sorted(rng.sample(range(num_nodes), session_size))
+    source = rng.choice(members)
+    series = {}
+    for hops in hops_values:
+        drop_edge = drop_edge_at_hops(spec, source, hops, members)
+        scenario = Scenario(spec=spec, members=members, source=source,
+                            drop_edge=drop_edge)
+        points = []
+        for c2 in c2_values:
+            config = SrmConfig(c1=c1, c2=float(c2))
+            point = SeriesPoint(x=c2)
+            for outcome in run_rounds(
+                    scenario, config=config, rounds=sims_per_value,
+                    seed=(seed * 131071 + hops * 7919 + int(c2) * 613)):
+                point.add("requests", outcome.requests)
+                point.add("delay", outcome.closest_request_ratio)
+            points.append(point)
+        series[hops] = points
+    result = Figure7Result(num_nodes=num_nodes, c1=c1, series=series,
+                           label="Figure 8 (sparse session)")
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_figure8(sims_per_value=10).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

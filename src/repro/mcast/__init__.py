@@ -1,0 +1,11 @@
+"""IP multicast group model.
+
+Implements the group-delivery model SRM assumes (Section II of the paper):
+senders address a :class:`~repro.net.packet.GroupAddress` with no knowledge
+of the membership; receivers join and leave groups individually. Forwarding
+itself lives in :mod:`repro.net.network`; this package tracks membership.
+"""
+
+from repro.mcast.groups import GroupManager
+
+__all__ = ["GroupManager"]

@@ -1,0 +1,63 @@
+"""Multicast group membership.
+
+The manager allocates group addresses and tracks which nodes have joined
+which groups. Membership queries are on the data path (every multicast
+consults them), so the member list is cached in sorted form and invalidated
+on join/leave; sorted order also keeps event scheduling deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Set, Tuple
+
+from repro.net.packet import GroupAddress, NodeId
+
+
+class GroupManager:
+    """Tracks multicast group membership."""
+
+    def __init__(self) -> None:
+        self._members: Dict[GroupAddress, Set[NodeId]] = {}
+        self._sorted_cache: Dict[GroupAddress, Tuple[NodeId, ...]] = {}
+        self._gids = itertools.count(1)
+        #: Bumped on every membership change; forwarding caches (pruned
+        #: multicast trees) key their validity on it.
+        self.version = 0
+
+    def allocate(self, label: str = "") -> GroupAddress:
+        """Create a fresh group address (e.g. a local-recovery group)."""
+        group = GroupAddress(gid=next(self._gids), label=label)
+        self._members[group] = set()
+        return group
+
+    def known_groups(self) -> list[GroupAddress]:
+        return sorted(self._members, key=lambda group: group.gid)
+
+    def join(self, node: NodeId, group: GroupAddress) -> None:
+        """Add ``node`` to ``group`` (idempotent, like an IGMP join)."""
+        self._members.setdefault(group, set()).add(node)
+        self._sorted_cache.pop(group, None)
+        self.version += 1
+
+    def leave(self, node: NodeId, group: GroupAddress) -> None:
+        """Remove ``node`` from ``group``; a no-op if not a member."""
+        members = self._members.get(group)
+        if members is not None:
+            members.discard(node)
+            self._sorted_cache.pop(group, None)
+            self.version += 1
+
+    def members(self, group: GroupAddress) -> Tuple[NodeId, ...]:
+        """Current members, sorted, as an immutable snapshot."""
+        cached = self._sorted_cache.get(group)
+        if cached is None:
+            cached = tuple(sorted(self._members.get(group, ())))
+            self._sorted_cache[group] = cached
+        return cached
+
+    def is_member(self, node: NodeId, group: GroupAddress) -> bool:
+        return node in self._members.get(group, ())
+
+    def size(self, group: GroupAddress) -> int:
+        return len(self._members.get(group, ()))

@@ -1,0 +1,46 @@
+"""Packet-level network substrate.
+
+This package models the parts of IP that SRM assumes: best-effort datagram
+delivery over point-to-point links with propagation delay, unicast routing
+along shortest paths, TTL decrement per hop with Mbone-style per-link TTL
+thresholds, and configurable packet drops (the "congested link" of the
+paper's experiments).
+
+Multicast group delivery is layered on top in :mod:`repro.mcast`.
+"""
+
+from repro.net.packet import (
+    DEFAULT_TTL,
+    GroupAddress,
+    Packet,
+    is_multicast,
+)
+from repro.net.link import (
+    BernoulliDropFilter,
+    DropFilter,
+    GilbertElliottDropFilter,
+    Link,
+    MatchDropFilter,
+    NthPacketDropFilter,
+)
+from repro.net.node import Agent, Node
+from repro.net.routing import SourceTree, build_source_tree
+from repro.net.network import Network
+
+__all__ = [
+    "DEFAULT_TTL",
+    "GroupAddress",
+    "Packet",
+    "is_multicast",
+    "Link",
+    "DropFilter",
+    "NthPacketDropFilter",
+    "BernoulliDropFilter",
+    "GilbertElliottDropFilter",
+    "MatchDropFilter",
+    "Agent",
+    "Node",
+    "SourceTree",
+    "build_source_tree",
+    "Network",
+]

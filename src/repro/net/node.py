@@ -1,0 +1,63 @@
+"""Nodes and the agent interface.
+
+A :class:`Node` is a router/host in the topology. Protocol endpoints attach
+to a node as :class:`Agent` objects; every packet delivered to the node
+(unicast addressed to it, or multicast for a group the node has joined) is
+handed to each attached agent's :meth:`Agent.receive`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.packet import NodeId, Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.network import Network
+
+
+class Agent:
+    """Base class for protocol endpoints.
+
+    Subclasses override :meth:`receive`. ``node_id`` and ``network`` are
+    bound when the agent is attached via :meth:`Network.attach`.
+    """
+
+    def __init__(self) -> None:
+        self.node_id: NodeId = -1
+        self.network: "Network" = None  # type: ignore[assignment]
+
+    def attached(self, network: "Network", node_id: NodeId) -> None:
+        """Hook called when the agent is bound to a node."""
+        self.network = network
+        self.node_id = node_id
+
+    def receive(self, packet: Packet) -> None:
+        """Handle a packet delivered to this agent's node."""
+        raise NotImplementedError
+
+    @property
+    def now(self) -> float:
+        return self.network.scheduler.now
+
+
+class Node:
+    """A vertex in the topology; a container for attached agents."""
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        self.agents: list[Agent] = []
+
+    def attach(self, agent: Agent) -> None:
+        self.agents.append(agent)
+
+    def detach(self, agent: Agent) -> None:
+        self.agents.remove(agent)
+
+    def deliver(self, packet: Packet) -> None:
+        """Hand a packet to every attached agent."""
+        for agent in list(self.agents):
+            agent.receive(packet)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.node_id} agents={len(self.agents)}>"

@@ -1,0 +1,103 @@
+"""Packets and addresses.
+
+Nodes are addressed by small integers. Multicast groups get their own
+address type, :class:`GroupAddress`, mirroring IP's reserved class-D range:
+a sender needs no knowledge of the membership, it just addresses the group.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+#: Default initial TTL for packets whose sender does not care about scope,
+#: matching the common IP default.
+DEFAULT_TTL = 255
+
+NodeId = int
+
+_packet_uids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class GroupAddress:
+    """A multicast group address.
+
+    ``gid`` distinguishes groups; ``label`` is for human-readable traces.
+    Separate recovery groups (Section VII-B2) are just additional
+    GroupAddress instances.
+    """
+
+    gid: int
+    label: str = ""
+
+    def __str__(self) -> str:
+        return self.label or f"group-{self.gid}"
+
+
+Address = Union[NodeId, GroupAddress]
+
+
+def is_multicast(address: Address) -> bool:
+    """True when ``address`` names a group rather than a single node."""
+    return isinstance(address, GroupAddress)
+
+
+@dataclass
+class Packet:
+    """A datagram.
+
+    ``origin`` is the node that created the packet (it never changes as the
+    packet is forwarded). ``kind`` is a short protocol tag ("data",
+    "request", "repair", "session", ...). ``payload`` is an arbitrary
+    application object; the network never inspects it.
+
+    ``ttl`` is decremented at each hop; ``initial_ttl`` is carried unchanged
+    so receivers can compute their hop count from the origin, which SRM's
+    TTL-scoped local recovery relies on (Section VII-B3).
+    """
+
+    origin: NodeId
+    dst: Address
+    kind: str
+    payload: Any = None
+    ttl: int = DEFAULT_TTL
+    initial_ttl: int = -1
+    size: int = 1000
+    scope_zone: Optional[str] = None
+    uid: int = field(default_factory=lambda: next(_packet_uids))
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ValueError(f"negative ttl {self.ttl}")
+        if self.initial_ttl < 0:
+            self.initial_ttl = self.ttl
+
+    @property
+    def is_multicast(self) -> bool:
+        return is_multicast(self.dst)
+
+    def hops_travelled(self) -> int:
+        """Hop count from the origin, derived from the TTL fields."""
+        return self.initial_ttl - self.ttl
+
+    def forwarded_copy(self) -> "Packet":
+        """The copy sent one hop further: same identity, TTL minus one."""
+        return Packet(
+            origin=self.origin,
+            dst=self.dst,
+            kind=self.kind,
+            payload=self.payload,
+            ttl=self.ttl - 1,
+            initial_ttl=self.initial_ttl,
+            size=self.size,
+            scope_zone=self.scope_zone,
+            uid=self.uid,
+            sent_at=self.sent_at,
+        )
+
+    def __str__(self) -> str:
+        return (f"<{self.kind} #{self.uid} {self.origin}->{self.dst} "
+                f"ttl={self.ttl}>")

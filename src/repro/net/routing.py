@@ -1,0 +1,152 @@
+"""Shortest-path routing structures.
+
+Both unicast forwarding and multicast distribution in the reproduction are
+driven by per-origin shortest-path trees (the paper: "messages are multicast
+to members of the multicast group along a shortest-path tree from the
+source"). :class:`SourceTree` captures one such tree together with the
+derived quantities the experiments need: delay distance, hop count, the
+minimum initial TTL required to reach each node, and subtree membership
+below each tree edge (for simulating a drop on a "congested link").
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.net.packet import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+
+Adjacency = Dict[NodeId, Dict[NodeId, "Link"]]
+
+
+class SourceTree:
+    """The shortest-path tree rooted at ``origin``.
+
+    Ties are broken toward the lower node id of the previous hop, so the
+    tree is a deterministic function of the topology.
+    """
+
+    def __init__(self, origin: NodeId, parent: Dict[NodeId, Optional[NodeId]],
+                 dist: Dict[NodeId, float], hops: Dict[NodeId, int],
+                 ttl_required: Dict[NodeId, int]) -> None:
+        self.origin = origin
+        self.parent = parent
+        self.dist = dist
+        self.hops = hops
+        self.ttl_required = ttl_required
+        self.children: Dict[NodeId, List[NodeId]] = {node: [] for node in parent}
+        for node, par in parent.items():
+            if par is not None:
+                self.children[par].append(node)
+        for kids in self.children.values():
+            kids.sort()
+        self._subtree_cache: Dict[NodeId, Set[NodeId]] = {}
+
+    @property
+    def nodes(self) -> Iterable[NodeId]:
+        return self.parent.keys()
+
+    def path(self, node: NodeId) -> List[NodeId]:
+        """Nodes on the tree path origin -> node, inclusive."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+    def path_edges(self, node: NodeId) -> List[Tuple[NodeId, NodeId]]:
+        """Directed tree edges (parent, child) on the path origin -> node."""
+        path = self.path(node)
+        return list(zip(path[:-1], path[1:]))
+
+    def subtree(self, node: NodeId) -> Set[NodeId]:
+        """All nodes in the subtree rooted at ``node`` (inclusive).
+
+        Equivalently: the nodes cut off when the tree edge into ``node``
+        drops a packet. Results are cached per tree.
+        """
+        cached = self._subtree_cache.get(node)
+        if cached is not None:
+            return cached
+        members: Set[NodeId] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            members.add(current)
+            stack.extend(self.children[current])
+        self._subtree_cache[node] = members
+        return members
+
+    def on_tree_edge(self, u: NodeId, v: NodeId) -> Optional[Tuple[NodeId, NodeId]]:
+        """Orient an undirected edge along the tree, or None if off-tree.
+
+        Returns (parent, child) when {u, v} is a tree edge.
+        """
+        if self.parent.get(v) == u:
+            return (u, v)
+        if self.parent.get(u) == v:
+            return (v, u)
+        return None
+
+    def next_hop_toward(self, node: NodeId) -> NodeId:
+        """First hop on the path from the origin to ``node``."""
+        if node == self.origin:
+            raise ValueError("no next hop from origin to itself")
+        current = node
+        while self.parent[current] != self.origin:
+            current = self.parent[current]  # type: ignore[assignment]
+        return current
+
+
+def build_source_tree(adjacency: Adjacency, origin: NodeId) -> SourceTree:
+    """Dijkstra from ``origin`` over the weighted adjacency.
+
+    Also computes, per node, the minimum initial TTL a multicast packet
+    needs to reach it along the tree: the TTL at an intermediate node u is
+    ``initial_ttl - hops(origin, u)`` and the packet crosses link (u, v)
+    only if that is at least the link's threshold.
+    """
+    if origin not in adjacency:
+        raise KeyError(f"origin {origin} not in topology")
+    dist: Dict[NodeId, float] = {origin: 0.0}
+    hops: Dict[NodeId, int] = {origin: 0}
+    parent: Dict[NodeId, Optional[NodeId]] = {origin: None}
+    ttl_required: Dict[NodeId, int] = {origin: 0}
+    # Heap entries: (distance, previous-hop id, node). The previous-hop id
+    # in the key makes tie-breaking deterministic.
+    heap: List[Tuple[float, NodeId, NodeId, Optional[NodeId]]] = [
+        (0.0, origin, origin, None)]
+    settled: Set[NodeId] = set()
+    while heap:
+        d, _, node, via = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if via is not None:
+            parent[node] = via
+            dist[node] = d
+            hops[node] = hops[via] + 1
+            link = adjacency[via][node]
+            ttl_required[node] = max(ttl_required[via],
+                                     hops[via] + link.threshold)
+        for neighbor, link in sorted(adjacency[node].items()):
+            if neighbor in settled:
+                continue
+            candidate = d + link.delay
+            if candidate < dist.get(neighbor, float("inf")):
+                dist[neighbor] = candidate
+                heapq.heappush(heap, (candidate, node, neighbor, node))
+    unreachable = set(adjacency) - settled
+    if unreachable:
+        raise ValueError(
+            f"topology is disconnected; unreachable from {origin}: "
+            f"{sorted(unreachable)[:5]}...")
+    return SourceTree(origin, parent, dist, hops, ttl_required)
+
+
+def pairwise_distance(adjacency: Adjacency, a: NodeId, b: NodeId) -> float:
+    """Shortest-path delay between two nodes (one-off query)."""
+    return build_source_tree(adjacency, a).dist[b]

@@ -1,0 +1,160 @@
+"""Event scheduler: the heart of the discrete-event kernel.
+
+A simulation is a single :class:`EventScheduler` plus callbacks. Events are
+ordered by (time, sequence number) so that simultaneous events fire in the
+order they were scheduled, which keeps runs exactly reproducible for a given
+random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, running twice, ...)."""
+
+
+class Event:
+    """A handle for a scheduled callback.
+
+    Events are created by :meth:`EventScheduler.schedule` and may be
+    cancelled. A cancelled event stays in the heap but is skipped when
+    popped (lazy deletion), which makes cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.4f} {name} {state}>"
+
+
+class EventScheduler:
+    """A discrete-event scheduler with a monotonic simulated clock.
+
+    Typical use::
+
+        sched = EventScheduler()
+        sched.schedule(1.5, node.receive, packet)
+        sched.run(until=100.0)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for instrumentation)."""
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` units from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay} units in the past (now={self._now})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, clock already at {self._now}")
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events in time order.
+
+        Stops when the heap empties, when the clock would pass ``until``
+        (the clock is then advanced to exactly ``until``), or after
+        ``max_events`` events. Returns the number of events executed by
+        this call.
+        """
+        if self._running:
+            raise SimulationError("scheduler is already running")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+                executed += 1
+                self._events_processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def step(self) -> bool:
+        """Execute the single next pending event. Returns False if none."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._events_processed += 1
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running scheduler")
+        self._heap.clear()
+        self._now = 0.0
+        self._events_processed = 0

@@ -1,0 +1,96 @@
+"""Cancellable, reschedulable timers on top of the event scheduler.
+
+SRM's request and repair machinery is timer-heavy: timers are set from
+random intervals, reset (backed off) when a duplicate request is heard,
+and cancelled when a repair arrives. :class:`Timer` wraps that lifecycle
+so protocol code never touches raw events.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from repro.sim.scheduler import Event, EventScheduler
+
+
+class TimerState(enum.Enum):
+    """Lifecycle of a :class:`Timer`."""
+
+    IDLE = "idle"          # never started, or consumed after firing
+    PENDING = "pending"    # scheduled and waiting to fire
+    FIRED = "fired"        # callback has run
+    CANCELLED = "cancelled"
+
+
+class Timer:
+    """A one-shot timer that can be restarted, rescheduled and cancelled.
+
+    The callback receives no arguments; bind context with a closure or a
+    bound method. ``expiry`` is the absolute simulated time at which the
+    timer will fire (or fired / was going to fire).
+    """
+
+    def __init__(self, scheduler: EventScheduler,
+                 callback: Callable[[], Any], name: str = "") -> None:
+        self._scheduler = scheduler
+        self._callback = callback
+        self.name = name
+        self._event: Optional[Event] = None
+        self._state = TimerState.IDLE
+        self.expiry: Optional[float] = None
+        self.set_at: Optional[float] = None
+
+    @property
+    def state(self) -> TimerState:
+        return self._state
+
+    @property
+    def pending(self) -> bool:
+        return self._state is TimerState.PENDING
+
+    def start(self, delay: float) -> None:
+        """Start (or restart) the timer to fire ``delay`` from now."""
+        self.cancel()
+        self.set_at = self._scheduler.now
+        self.expiry = self._scheduler.now + delay
+        self._event = self._scheduler.schedule(delay, self._fire)
+        self._state = TimerState.PENDING
+
+    def reschedule(self, delay: float) -> None:
+        """Move a pending timer to fire ``delay`` from now.
+
+        Unlike :meth:`start`, this preserves ``set_at`` (the time the
+        timer was first armed), which SRM uses to measure request/repair
+        delay across backoffs.
+        """
+        if self._state is not TimerState.PENDING:
+            self.start(delay)
+            return
+        first_set = self.set_at
+        assert self._event is not None
+        self._event.cancel()
+        self.expiry = self._scheduler.now + delay
+        self._event = self._scheduler.schedule(delay, self._fire)
+        self.set_at = first_set
+
+    def cancel(self) -> None:
+        """Cancel the timer if pending; otherwise a no-op."""
+        if self._event is not None and self._state is TimerState.PENDING:
+            self._event.cancel()
+            self._state = TimerState.CANCELLED
+        self._event = None
+
+    def time_remaining(self) -> float:
+        """Time until expiry; zero if not pending."""
+        if self._state is not TimerState.PENDING or self.expiry is None:
+            return 0.0
+        return max(0.0, self.expiry - self._scheduler.now)
+
+    def _fire(self) -> None:
+        self._state = TimerState.FIRED
+        self._event = None
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timer {self.name!r} {self._state.value} expiry={self.expiry}>"

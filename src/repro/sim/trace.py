@@ -1,0 +1,94 @@
+"""Structured event tracing.
+
+Experiments count things ("how many requests were multicast for this loss?",
+"when did member 17 first receive the repair?"). Rather than threading
+counters through the protocol code, agents emit :class:`TraceRecord` rows
+into a shared :class:`Trace`, and the experiment layer queries it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced protocol event."""
+
+    time: float
+    node: Any          # node id of the agent that emitted the record
+    kind: str          # e.g. "send_request", "recv_repair", "loss_detected"
+    detail: dict = field(default_factory=dict, compare=False)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{key}={value}" for key, value in self.detail.items())
+        return f"{self.time:10.4f} node={self.node} {self.kind} {extras}"
+
+
+class Trace:
+    """An append-only log of :class:`TraceRecord` rows with simple queries."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def record(self, time: float, node: Any, kind: str, **detail: Any) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        row = TraceRecord(time=time, node=node, kind=kind, detail=detail)
+        self.records.append(row)
+        for listener in self._listeners:
+            listener(row)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` on every future record (live monitoring)."""
+        self._listeners.append(listener)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(self, kind: Optional[str] = None,
+               node: Optional[Any] = None,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None,
+               ) -> list[TraceRecord]:
+        """Records matching all the given criteria."""
+        rows = self.records
+        if kind is not None:
+            rows = [row for row in rows if row.kind == kind]
+        if node is not None:
+            rows = [row for row in rows if row.node == node]
+        if predicate is not None:
+            rows = [row for row in rows if predicate(row)]
+        return list(rows)
+
+    def count(self, kind: str, **detail_filters: Any) -> int:
+        """Number of records of ``kind`` whose detail matches all filters."""
+        total = 0
+        for row in self.records:
+            if row.kind != kind:
+                continue
+            if all(row.detail.get(key) == value
+                   for key, value in detail_filters.items()):
+                total += 1
+        return total
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        """Earliest record of ``kind`` in append order, or None."""
+        for row in self.records:
+            if row.kind == kind:
+                return row
+        return None
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering (for examples and debugging)."""
+        rows = self.records if limit is None else self.records[:limit]
+        return "\n".join(str(row) for row in rows)

@@ -1,0 +1,24 @@
+"""Topology generators for the paper's experiment scenarios.
+
+Every generator returns a :class:`TopologySpec` (node count + edge list)
+which can be instantiated into a :class:`repro.net.Network`. Link delays
+default to 1.0 — the paper's normalization of one time unit per hop.
+"""
+
+from repro.topology.spec import TopologySpec
+from repro.topology.chain import chain
+from repro.topology.star import star
+from repro.topology.btree import balanced_tree
+from repro.topology.random_tree import random_labeled_tree
+from repro.topology.graphs import tree_plus_edges
+from repro.topology.lans import routers_with_lans
+
+__all__ = [
+    "TopologySpec",
+    "chain",
+    "star",
+    "balanced_tree",
+    "random_labeled_tree",
+    "tree_plus_edges",
+    "routers_with_lans",
+]

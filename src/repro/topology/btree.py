@@ -1,0 +1,60 @@
+"""Balanced bounded-degree trees (paper Sections IV-C, V-B).
+
+The paper's large scenarios use "a balanced bounded-degree tree of 1000
+nodes, with interior nodes of degree four". In graph terms: the root has
+``degree`` children and every other interior node has ``degree - 1``
+children, so interior vertices all have graph degree ``degree``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.topology.spec import TopologySpec
+
+
+def balanced_tree(num_nodes: int, degree: int = 4) -> TopologySpec:
+    """A balanced tree on ``num_nodes`` nodes with interior degree ``degree``.
+
+    Nodes are numbered in breadth-first order from the root (node 0), so
+    node ids increase with depth.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    if degree < 2:
+        raise ValueError("interior degree must be at least 2")
+    edges = []
+    next_id = 1
+    frontier = deque([(0, True)])  # (node, is_root)
+    while next_id < num_nodes and frontier:
+        node, is_root = frontier.popleft()
+        capacity = degree if is_root else degree - 1
+        for _ in range(capacity):
+            if next_id >= num_nodes:
+                break
+            child = next_id
+            next_id += 1
+            edges.append((node, child))
+            frontier.append((child, False))
+    spec = TopologySpec(name=f"btree-{num_nodes}-deg{degree}",
+                        num_nodes=num_nodes, edges=edges)
+    spec.metadata["degree"] = degree
+    spec.metadata["root"] = 0
+    return spec
+
+
+def tree_depth(spec: TopologySpec) -> int:
+    """Depth of a tree spec rooted at node 0 (levels below the root)."""
+    adjacency: dict[int, list[int]] = {i: [] for i in range(spec.num_nodes)}
+    for a, b in spec.edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    depth = {0: 0}
+    queue = deque([0])
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if neighbor not in depth:
+                depth[neighbor] = depth[node] + 1
+                queue.append(neighbor)
+    return max(depth.values())

@@ -1,0 +1,20 @@
+"""Chain topology (paper Fig. 1).
+
+Nodes 0..n-1 in a line. Every interior node of the multicast tree has
+degree at most two; the paper uses chains to exhibit *deterministic*
+suppression, where timers as a function of distance alone produce exactly
+one request and one repair.
+"""
+
+from __future__ import annotations
+
+from repro.topology.spec import TopologySpec
+
+
+def chain(num_nodes: int) -> TopologySpec:
+    """A path graph on ``num_nodes`` nodes: 0 - 1 - 2 - ... - (n-1)."""
+    if num_nodes < 2:
+        raise ValueError("a chain needs at least 2 nodes")
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    return TopologySpec(name=f"chain-{num_nodes}", num_nodes=num_nodes,
+                        edges=edges)

@@ -1,0 +1,43 @@
+"""Connected graphs denser than trees (paper Section VII-A).
+
+The paper's robustness runs include "connected graphs that are more dense
+than trees, with 1000 nodes and 1500 edges": a random spanning tree plus
+random extra edges. Multicast still flows along per-source shortest-path
+trees; the extra edges change which tree each source gets.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RandomSource
+from repro.topology.random_tree import random_labeled_tree
+from repro.topology.spec import TopologySpec
+
+
+def tree_plus_edges(num_nodes: int, num_edges: int,
+                    rng: RandomSource) -> TopologySpec:
+    """A connected graph: uniform random tree plus random chords.
+
+    ``num_edges`` is the total edge count and must be at least
+    ``num_nodes - 1`` (a spanning tree) and at most the complete graph.
+    """
+    min_edges = num_nodes - 1
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if not min_edges <= num_edges <= max_edges:
+        raise ValueError(
+            f"num_edges must be in [{min_edges}, {max_edges}], "
+            f"got {num_edges}")
+    tree = random_labeled_tree(num_nodes, rng)
+    existing = {(min(a, b), max(a, b)) for a, b in tree.edges}
+    edges = list(tree.edges)
+    while len(edges) < num_edges:
+        a = rng.randint(0, num_nodes - 1)
+        b = rng.randint(0, num_nodes - 1)
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        if key in existing:
+            continue
+        existing.add(key)
+        edges.append(key)
+    return TopologySpec(name=f"graph-{num_nodes}n-{num_edges}e",
+                        num_nodes=num_nodes, edges=edges)

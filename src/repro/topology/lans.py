@@ -1,0 +1,51 @@
+"""Router backbones with attached LANs (paper Section V-B).
+
+The paper mentions robustness runs on "topologies where each of the nodes
+in the underlying network is a router with an adjacent Ethernet with 5
+workstations". We model each Ethernet as a hub vertex attached to its
+router, with the workstations hanging off the hub; all three hop types
+(router-router, router-hub, hub-workstation) default to delay 1, and the
+hub contributes the shared-wire property that every workstation on a LAN
+is equidistant from the rest of the network.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.btree import balanced_tree
+from repro.topology.spec import TopologySpec
+
+
+def routers_with_lans(num_routers: int, workstations_per_lan: int = 5,
+                      backbone_degree: int = 4) -> TopologySpec:
+    """A balanced router tree where each router hosts a small Ethernet.
+
+    Node numbering: routers are 0..num_routers-1 (a balanced tree of the
+    given interior degree); then for each router r, a hub node followed by
+    its workstations.
+    """
+    if workstations_per_lan < 1:
+        raise ValueError("each LAN needs at least one workstation")
+    backbone = balanced_tree(num_routers, degree=backbone_degree)
+    edges = list(backbone.edges)
+    next_id = num_routers
+    workstations: List[int] = []
+    hubs: List[int] = []
+    for router in range(num_routers):
+        hub = next_id
+        next_id += 1
+        hubs.append(hub)
+        edges.append((router, hub))
+        for _ in range(workstations_per_lan):
+            station = next_id
+            next_id += 1
+            workstations.append(station)
+            edges.append((hub, station))
+    spec = TopologySpec(
+        name=(f"lans-{num_routers}r-{workstations_per_lan}w"),
+        num_nodes=next_id, edges=edges)
+    spec.metadata["routers"] = list(range(num_routers))
+    spec.metadata["hubs"] = hubs
+    spec.metadata["workstations"] = workstations
+    return spec

@@ -1,0 +1,60 @@
+"""Uniform random labeled trees (paper Section V-A).
+
+The paper constructs random labeled trees "according to the labeling
+algorithm in [Palmer, Graphical Evolution, p. 99]" — i.e. uniformly over
+Cayley's n^(n-2) labeled trees. We generate them by drawing a uniform
+Prüfer sequence and decoding it, which yields exactly that distribution.
+These trees have unbounded degree, but for large n a vertex has degree
+at most four with probability ~0.98, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RandomSource
+from repro.topology.spec import TopologySpec
+
+
+def prufer_decode(sequence: list[int], num_nodes: int) -> list[tuple[int, int]]:
+    """Decode a Prüfer sequence into the edge list of a labeled tree.
+
+    ``sequence`` has length ``num_nodes - 2`` with entries in
+    [0, num_nodes).
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    if len(sequence) != num_nodes - 2:
+        raise ValueError(
+            f"sequence length {len(sequence)} != {num_nodes - 2}")
+    degree = [1] * num_nodes
+    for label in sequence:
+        degree[label] += 1
+    edges = []
+    # Min-heap of current leaves; lazy approach with a pointer is O(n log n)
+    # via repeated scans -- use heapq for clarity and speed.
+    import heapq
+
+    leaves = [node for node in range(num_nodes) if degree[node] == 1]
+    heapq.heapify(leaves)
+    for label in sequence:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, label))
+        degree[label] -= 1
+        if degree[label] == 1:
+            heapq.heappush(leaves, label)
+    last_two = [heapq.heappop(leaves), heapq.heappop(leaves)]
+    edges.append((last_two[0], last_two[1]))
+    return edges
+
+
+def random_labeled_tree(num_nodes: int, rng: RandomSource) -> TopologySpec:
+    """A tree drawn uniformly from the n^(n-2) labeled trees on n nodes."""
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    if num_nodes == 2:
+        edges = [(0, 1)]
+    else:
+        sequence = [rng.randint(0, num_nodes - 1)
+                    for _ in range(num_nodes - 2)]
+        edges = prufer_decode(sequence, num_nodes)
+    return TopologySpec(name=f"random-tree-{num_nodes}",
+                        num_nodes=num_nodes, edges=edges)

@@ -1,0 +1,26 @@
+"""Star topology (paper Fig. 2).
+
+A hub (node 0) with ``num_leaves`` identical spokes. The paper stipulates
+that the hub is *not* a member of the multicast session: all leaves detect
+a loss simultaneously, so only *probabilistic* suppression (randomized
+timers) limits the request implosion.
+"""
+
+from __future__ import annotations
+
+from repro.topology.spec import TopologySpec
+
+#: Node id of the hub in specs produced by :func:`star`.
+HUB = 0
+
+
+def star(num_leaves: int) -> TopologySpec:
+    """A star with hub node 0 and leaves 1..num_leaves."""
+    if num_leaves < 2:
+        raise ValueError("a star needs at least 2 leaves")
+    edges = [(HUB, leaf) for leaf in range(1, num_leaves + 1)]
+    spec = TopologySpec(name=f"star-{num_leaves}", num_nodes=num_leaves + 1,
+                        edges=edges)
+    spec.metadata["hub"] = HUB
+    spec.metadata["leaves"] = list(range(1, num_leaves + 1))
+    return spec

@@ -1,0 +1,16 @@
+"""wb: the distributed whiteboard built on the SRM framework.
+
+The paper's first SRM application (Sections II-C and III-E). Drawing is
+split into pages; every member can create pages and draw on any page;
+drawing operations (drawops) are idempotent, rendered on receipt, and
+sorted by timestamp — so wb needs no ordered delivery. Non-idempotent
+operations (a delete referencing an earlier drawop) are "patched after
+the fact, when the missing data arrives".
+"""
+
+from repro.wb.drawops import ClearOp, DeleteOp, DrawOp, DrawType
+from repro.wb.integrity import IntegrityError, SealedOp, compute_tag
+from repro.wb.whiteboard import Whiteboard
+
+__all__ = ["DrawOp", "DeleteOp", "ClearOp", "DrawType", "Whiteboard",
+           "SealedOp", "IntegrityError", "compute_tag"]

@@ -1,0 +1,93 @@
+"""Integrity tags for whiteboard data (Section III-E).
+
+The paper: "If data somehow becomes corrupt ... it can spread like a
+virus throughout the wb session. When the corrupted data is used to
+answer repair requests, the corrupted data is distributed throughout the
+multicast group and persists for the life of the session. To avoid this,
+each piece of data can be accompanied by a tag that not only
+authenticates the source of the data but also verifies its integrity."
+
+This module implements the integrity half (a keyed digest over the name
+and a canonical rendering of the operation); real deployments would sign
+the digest. :class:`SealedOp` wraps any wb operation; corrupted copies
+fail verification and are refused instead of being rendered or used to
+answer repairs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.names import AduName
+from repro.wb.drawops import ClearOp, DeleteOp, DrawOp
+
+
+class IntegrityError(ValueError):
+    """Raised when a sealed operation fails verification."""
+
+
+def _canonical(op: Any) -> bytes:
+    """A stable byte rendering of a wb operation."""
+    if isinstance(op, DrawOp):
+        parts = ("draw", op.shape.value, repr(op.coords), op.color,
+                 repr(op.width), repr(op.text), repr(op.timestamp))
+    elif isinstance(op, DeleteOp):
+        parts = ("delete", str(op.target), repr(op.timestamp))
+    elif isinstance(op, ClearOp):
+        parts = ("clear", repr(op.timestamp))
+    else:
+        raise TypeError(f"cannot canonicalize {op!r}")
+    return "|".join(parts).encode()
+
+
+def compute_tag(name: AduName, op: Any, key: bytes = b"") -> str:
+    """The integrity tag: a keyed BLAKE2s digest over (name, op)."""
+    digest = hashlib.blake2s(key=key or b"srm-wb", digest_size=16)
+    digest.update(str(name).encode())
+    digest.update(b"\x00")
+    digest.update(_canonical(op))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SealedOp:
+    """A wb operation accompanied by its integrity tag."""
+
+    op: Any
+    tag: str
+
+    @classmethod
+    def seal(cls, name: AduName, op: Any, key: bytes = b"") -> "SealedOp":
+        return cls(op=op, tag=compute_tag(name, op, key))
+
+    def verify(self, name: AduName, key: bytes = b"") -> bool:
+        try:
+            return compute_tag(name, self.op, key) == self.tag
+        except TypeError:
+            return False
+
+    def unseal(self, name: AduName, key: bytes = b"") -> Any:
+        """Return the operation, raising :class:`IntegrityError` if the
+        tag does not match (corrupted or forged data)."""
+        if not self.verify(name, key):
+            raise IntegrityError(f"integrity tag mismatch for {name}")
+        return self.op
+
+
+def corrupt(sealed: SealedOp, mutated_op: Optional[Any] = None) -> SealedOp:
+    """A corrupted copy: the op mutated, the stale tag kept.
+
+    Models the paper's in-memory corruption scenario (application bug or
+    system failure) for tests and demos.
+    """
+    if mutated_op is None and isinstance(sealed.op, DrawOp):
+        original: DrawOp = sealed.op
+        mutated_op = DrawOp(shape=original.shape, coords=original.coords,
+                            color="corrupted", width=original.width,
+                            text=original.text,
+                            timestamp=original.timestamp)
+    if mutated_op is None:
+        raise ValueError("provide mutated_op for non-DrawOp operations")
+    return SealedOp(op=mutated_op, tag=sealed.tag)

@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the SRM reproduction test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import pytest
+
+from repro.core.agent import SrmAgent
+from repro.core.config import SrmConfig
+from repro.net.network import Network
+from repro.net.packet import GroupAddress
+from repro.sim.rng import RandomSource
+from repro.topology.spec import TopologySpec
+
+
+def build_srm_session(spec: TopologySpec, members: Iterable[int],
+                      config: Optional[SrmConfig] = None, seed: int = 0,
+                      delivery: str = "direct",
+                      ) -> Tuple[Network, Dict[int, SrmAgent], GroupAddress]:
+    """Instantiate a network and attach SRM agents on the given members."""
+    network = spec.build(delivery=delivery)
+    network.trace.enabled = True
+    group = network.groups.allocate("session")
+    master = RandomSource(seed)
+    agents: Dict[int, SrmAgent] = {}
+    for member in members:
+        agent = SrmAgent(config if config is None else config.copy(),
+                         master.fork(f"member-{member}"))
+        network.attach(member, agent)
+        agent.join_group(group)
+        agents[member] = agent
+    return network, agents, group
+
+
+def at(network: Network, time: float, callback, *args) -> None:
+    """Schedule a callback at an absolute simulated time."""
+    network.scheduler.schedule_at(time, callback, *args)
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    return RandomSource(12345)

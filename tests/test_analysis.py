@@ -1,0 +1,164 @@
+"""Tests for the Section IV closed-form models, checked against the
+simulator where the paper does the same."""
+
+import pytest
+
+from repro.analysis import (
+    always_suppressed_level,
+    chain_recovery_schedule,
+    expected_first_request_delay_ratio,
+    expected_requests,
+    max_duplicate_request_level,
+    nack_breakeven_interval,
+    unicast_recovery_delay,
+)
+from repro.core.config import SrmConfig
+from repro.experiments.common import run_rounds
+from repro.experiments.figure5 import star_scenario
+from repro.experiments.figure6 import chain_scenario
+
+
+# ----------------------------------------------------------------------
+# Star analysis (Section IV-B)
+# ----------------------------------------------------------------------
+
+def test_expected_requests_formula():
+    # "If C2 is set to G, then the expected number of requests is
+    # roughly 2, and the expected delay until the first timer expires
+    # [is 2C2/G] seconds."
+    assert expected_requests(100, 100) == pytest.approx(1.98)
+    assert expected_requests(100, 1) == 99.0
+    assert expected_requests(100, 0.5) == 99.0
+    assert expected_requests(100, 49) == pytest.approx(3.0)
+
+
+def test_expected_requests_capped_at_all_members():
+    assert expected_requests(10, 0.001) == 9.0
+
+
+def test_expected_delay_ratio_formula():
+    # With C1 = 0 and C2 = G the expected delay is half an RTT plus the
+    # C1 offset; at C1 = 2 the floor is exactly one RTT.
+    assert expected_first_request_delay_ratio(100, 2.0, 0) == 1.0
+    assert expected_first_request_delay_ratio(100, 2.0, 100) == 1.5
+    assert expected_first_request_delay_ratio(100, 0.0, 100) == 0.5
+
+
+def test_star_analysis_validation():
+    with pytest.raises(ValueError):
+        expected_requests(1, 5)
+    with pytest.raises(ValueError):
+        expected_first_request_delay_ratio(1, 1, 1)
+    with pytest.raises(ValueError):
+        nack_breakeven_interval(2)
+
+
+def test_nack_breakeven_near_group_size():
+    # La Porta & Schwartz: the randomization interval must be on the
+    # order of the group size before multicast NACKs save bandwidth.
+    breakeven = nack_breakeven_interval(100)
+    assert 90 < breakeven < 110
+
+
+def test_star_simulation_tracks_analysis():
+    """Coarse agreement between the simulator and the closed forms."""
+    scenario = star_scenario(50)
+    for c2 in (10.0, 40.0):
+        outcomes = run_rounds(scenario, config=SrmConfig(c1=2.0, c2=c2),
+                              rounds=30, seed=int(c2))
+        mean_requests = sum(o.requests for o in outcomes) / len(outcomes)
+        mean_delay = sum(o.closest_request_ratio for o in outcomes) \
+            / len(outcomes)
+        predicted_requests = expected_requests(50, c2)
+        predicted_delay = expected_first_request_delay_ratio(50, 2.0, c2)
+        assert mean_requests == pytest.approx(predicted_requests,
+                                              rel=0.5, abs=1.5)
+        assert mean_delay == pytest.approx(predicted_delay, rel=0.25)
+
+
+# ----------------------------------------------------------------------
+# Chain analysis (Section IV-A)
+# ----------------------------------------------------------------------
+
+def test_chain_schedule_timeline():
+    schedule = chain_recovery_schedule(chain_length=10, failure_hops=4)
+    # Node 4 detects at 1 + 4 = 5, requests at 5 + 4 = 9; node 3 hears
+    # it at 10 and repairs at 11; node 9 gets it at 11 + 6 = 17.
+    assert schedule.detection_time[4] == 5.0
+    assert schedule.request_time == 9.0
+    assert schedule.repair_time == 11.0
+    assert schedule.recovery_time[9] == 17.0
+
+
+def test_chain_farthest_node_beats_unicast():
+    # "The furthest node receives the repair sooner than it would if it
+    # had to rely on its own unicast communication with the source."
+    schedule = chain_recovery_schedule(chain_length=20, failure_hops=3)
+    farthest = schedule.farthest_node
+    assert schedule.recovery_delay(farthest) < \
+        unicast_recovery_delay(farthest)
+    assert schedule.farthest_delay_ratio() < 1.0
+
+
+def test_chain_schedule_matches_simulator_exactly():
+    """The deterministic schedule is reproduced tick-for-tick by the
+    full simulator with C1 = D1 = 1, C2 = D2 = 0."""
+    failure_hops = 3
+    chain_length = 12
+    scenario = chain_scenario(failure_hops, chain_length)
+    config = SrmConfig(c1=1.0, c2=0.0, d1=1.0, d2=0.0)
+    outcomes = run_rounds(scenario, config=config, rounds=1, seed=0)
+    outcome = outcomes[0]
+    schedule = chain_recovery_schedule(chain_length, failure_hops)
+    assert outcome.requests == 1
+    assert outcome.repairs == 1
+    farthest = chain_length - 1
+    expected_delay = schedule.recovery_delay(farthest)
+    timing = outcome.report.recoveries[farthest]
+    assert timing.delay == pytest.approx(expected_delay)
+    assert outcome.last_member_ratio == pytest.approx(
+        schedule.farthest_delay_ratio())
+
+
+def test_chain_schedule_validation():
+    with pytest.raises(ValueError):
+        chain_recovery_schedule(5, 0)
+    with pytest.raises(ValueError):
+        chain_recovery_schedule(5, 5)
+
+
+# ----------------------------------------------------------------------
+# Tree analysis (Section IV-C)
+# ----------------------------------------------------------------------
+
+def test_suppression_level_condition():
+    # Level i is always suppressed iff C1 * i >= C2 * d_s.
+    assert always_suppressed_level(4, c1=2.0, c2=2.0, source_distance=3)
+    assert not always_suppressed_level(2, c1=2.0, c2=2.0, source_distance=3)
+    assert always_suppressed_level(3, c1=2.0, c2=2.0, source_distance=3)
+
+
+def test_suppression_level_validation():
+    with pytest.raises(ValueError):
+        always_suppressed_level(-1, 1, 1, 1)
+    with pytest.raises(ValueError):
+        max_duplicate_request_level(0, 1, 1)
+
+
+def test_max_duplicate_level():
+    # Threshold = C2 * d_s / C1.
+    assert max_duplicate_request_level(2.0, 2.0, 3.0) == 2
+    assert max_duplicate_request_level(1.0, 0.0, 5.0) == -1
+    assert max_duplicate_request_level(1.0, 4.0, 1.0) == 3
+
+
+def test_smaller_c2_over_c1_suppresses_more_levels():
+    deep_small = max_duplicate_request_level(2.0, 1.0, 4.0)
+    deep_large = max_duplicate_request_level(1.0, 4.0, 4.0)
+    assert deep_small < deep_large
+
+
+def test_closer_source_suppresses_more_levels():
+    near = max_duplicate_request_level(2.0, 2.0, 1.0)
+    far = max_duplicate_request_level(2.0, 2.0, 10.0)
+    assert near < far

@@ -1,0 +1,184 @@
+"""Tests for the baseline reliable-delivery schemes (Section II-A)."""
+
+import pytest
+
+from repro.baselines import (
+    bandwidth_ratio,
+    build_sender_ack_session,
+    build_unicast_nack_session,
+    multicast_link_cost,
+    unicast_link_cost,
+)
+from repro.baselines.n_unicast import worst_link_load
+from repro.net.link import NthPacketDropFilter
+from repro.topology.btree import balanced_tree
+from repro.topology.chain import chain
+from repro.topology.star import star
+
+
+# ----------------------------------------------------------------------
+# Sender-based ACK multicast
+# ----------------------------------------------------------------------
+
+def test_ack_implosion_scales_with_group_size():
+    """Every data packet pulls G-1 ACKs into the sender (Section II-A)."""
+    for group_size in (5, 20, 50):
+        network = star(group_size).build()
+        sender, _ = build_sender_ack_session(
+            network, 1, list(range(1, group_size + 1)))
+        network.scheduler.schedule(0.0, lambda: sender.send_data("x"))
+        network.run()
+        assert sender.acks_received == group_size - 1
+        assert sender.fully_acknowledged(1)
+
+
+def test_sender_retransmits_until_acknowledged():
+    network = star(10).build()
+    sender, receivers = build_sender_ack_session(
+        network, 1, list(range(1, 11)), retransmit_timeout=20.0)
+    # Lose the first transmission toward leaf 5.
+    network.add_drop_filter(0, 5, NthPacketDropFilter(
+        lambda p: p.kind == "ack-data"))
+    network.scheduler.schedule(0.0, lambda: sender.send_data("x"))
+    network.run()
+    assert sender.retransmissions >= 1
+    assert 1 in receivers[5].received
+    assert sender.fully_acknowledged(1)
+
+
+def test_sender_gives_up_after_max_retransmits():
+    network = star(5).build()
+    sender, receivers = build_sender_ack_session(
+        network, 1, list(range(1, 6)), retransmit_timeout=10.0)
+    sender.max_retransmits = 3
+    # Leaf 3 is permanently unreachable.
+    from repro.net.link import MatchDropFilter
+    network.add_drop_filter(0, 3, MatchDropFilter(lambda p: True))
+    network.scheduler.schedule(0.0, lambda: sender.send_data("x"))
+    network.run()
+    assert sender.data_sent == 3
+    assert not sender.fully_acknowledged(1)
+
+
+def test_duplicate_data_still_acked_once_stored():
+    network = chain(3).build()
+    sender, receivers = build_sender_ack_session(network, 0, [0, 1, 2])
+    network.scheduler.schedule(0.0, lambda: sender.send_data("x"))
+    network.run()
+    assert receivers[2].received[1] == "x"
+    assert receivers[2].acks_sent >= 1
+
+
+# ----------------------------------------------------------------------
+# Unicast NACK
+# ----------------------------------------------------------------------
+
+def test_shared_loss_causes_nack_convergence():
+    """A loss near the source draws one NACK per affected receiver —
+    the implosion SRM's suppression avoids."""
+    network = star(25).build()
+    source, receivers = build_unicast_nack_session(
+        network, 1, list(range(1, 26)))
+    network.add_drop_filter(1, 0, NthPacketDropFilter(
+        lambda p: p.kind == "nack-data"))
+    network.scheduler.schedule(0.0, lambda: source.send_data("a"))
+    network.scheduler.schedule(1.0, lambda: source.send_data("b"))
+    network.run()
+    assert source.nacks_received == 24
+    for receiver in receivers.values():
+        assert 1 in receiver.received
+
+
+def test_unicast_recovery_delay_is_at_least_one_rtt():
+    """The pure point-to-point recovery floor SRM can beat (Section
+    IV-A): with unicast repairs, every receiver waits at least its own
+    RTT to the source."""
+    network = chain(10).build()
+    source, receivers = build_unicast_nack_session(
+        network, 0, list(range(10)), repair_mode="unicast")
+    network.add_drop_filter(4, 5, NthPacketDropFilter(
+        lambda p: p.kind == "nack-data"))
+    network.scheduler.schedule(0.0, lambda: source.send_data("a"))
+    network.scheduler.schedule(1.0, lambda: source.send_data("b"))
+    network.run()
+    for node, receiver in receivers.items():
+        if 1 in receiver.recovered_at:
+            assert receiver.recovery_delay_ratio(1) >= 1.0 - 1e-9
+
+
+def test_nack_retransmitted_when_repair_lost():
+    network = chain(4).build()
+    source, receivers = build_unicast_nack_session(network, 0, [0, 1, 2, 3])
+    # Coalesce the NACK burst into a single repair, and lose it: the
+    # receivers' NACK retransmit timers must fire.
+    source.repair_holdoff = 50.0
+    network.add_drop_filter(1, 2, NthPacketDropFilter(
+        lambda p: p.kind == "nack-data"))
+    network.add_drop_filter(1, 2, NthPacketDropFilter(
+        lambda p: p.kind == "nack-repair"))
+    network.scheduler.schedule(0.0, lambda: source.send_data("a"))
+    network.scheduler.schedule(1.0, lambda: source.send_data("b"))
+    network.run()
+    assert receivers[3].nacks_sent >= 2
+    assert 1 in receivers[3].received
+
+
+def test_repair_holdoff_coalesces_nacks():
+    network = star(10).build()
+    source, receivers = build_unicast_nack_session(
+        network, 1, list(range(1, 11)))
+    source.repair_holdoff = 50.0
+    network.add_drop_filter(1, 0, NthPacketDropFilter(
+        lambda p: p.kind == "nack-data"))
+    network.scheduler.schedule(0.0, lambda: source.send_data("a"))
+    network.scheduler.schedule(1.0, lambda: source.send_data("b"))
+    network.run()
+    assert source.nacks_received == 9
+    assert source.repairs_sent == 1
+
+
+# ----------------------------------------------------------------------
+# N-unicast cost model
+# ----------------------------------------------------------------------
+
+def test_unicast_vs_multicast_cost_on_star():
+    network = star(10).build()
+    receivers = list(range(2, 11))
+    source = 1
+    assert unicast_link_cost(network, source, receivers) == 9 * 2
+    assert multicast_link_cost(network, source, receivers) == 10
+    assert bandwidth_ratio(network, source, receivers) == pytest.approx(1.8)
+
+
+def test_unicast_vs_multicast_cost_on_chain():
+    network = chain(6).build()
+    receivers = [1, 2, 3, 4, 5]
+    # Unicast: 1+2+3+4+5 = 15 crossings; multicast: 5 links once each.
+    assert unicast_link_cost(network, 0, receivers) == 15
+    assert multicast_link_cost(network, 0, receivers) == 5
+    assert bandwidth_ratio(network, 0, receivers) == 3.0
+
+
+def test_worst_link_load():
+    network = star(10).build()
+    receivers = list(range(2, 11))
+    unicast_max, multicast_copies = worst_link_load(network, 1, receivers)
+    # All 9 unicast paths share the source's uplink.
+    assert unicast_max == 9
+    assert multicast_copies == 1
+
+
+def test_bandwidth_ratio_grows_with_group_size():
+    ratios = []
+    for size in (10, 50, 200):
+        network = balanced_tree(size, 4).build()
+        ratios.append(bandwidth_ratio(network, 0, list(range(1, size))))
+    assert ratios[0] < ratios[1] < ratios[2]
+
+
+def test_empty_receiver_set():
+    network = chain(3).build()
+    assert unicast_link_cost(network, 0, [0]) == 0
+    assert multicast_link_cost(network, 0, []) == 0
+    assert bandwidth_ratio(network, 0, []) == 1.0
+    assert worst_link_load(network, 0, []) == (0, 0)

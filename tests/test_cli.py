@@ -1,0 +1,49 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, FIGURE_SEEDS, build_parser, main
+
+
+def test_every_command_has_a_seed_default():
+    assert set(FIGURE_SEEDS) == set(COMMANDS)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "figure3" in capsys.readouterr().out
+
+
+def test_figure3_runs_small(capsys):
+    assert main(["figure3", "--sims", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3a" in out
+    assert "Figure 3c" in out
+
+
+def test_robustness_runs_small(capsys):
+    assert main(["robustness", "--rounds", "1"]) == 0
+    assert "Robustness sweep" in capsys.readouterr().out
+
+
+def test_congestion_runs(capsys):
+    assert main(["congestion"]) == 0
+    out = capsys.readouterr().out
+    assert "unpaced" in out and "paced" in out
+
+
+def test_seed_override(capsys):
+    assert main(["figure5", "--sims", "2", "--seed", "99"]) == 0
+    assert "Figure 5" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure99"])

@@ -1,0 +1,77 @@
+"""Unit tests for SRM configuration."""
+
+import math
+
+import pytest
+
+from repro.core.config import (
+    AdaptiveBounds,
+    SrmConfig,
+    TimerParams,
+    log10_group,
+)
+
+
+def test_fixed_parameter_defaults_match_the_paper():
+    # Section V: C1 = C2 = 2, D1 = D2 = log10(G).
+    config = SrmConfig()
+    params = config.fixed_params(group_size=100)
+    assert params.c1 == 2.0
+    assert params.c2 == 2.0
+    assert params.d1 == pytest.approx(2.0)
+    assert params.d2 == pytest.approx(2.0)
+
+
+def test_log10_rule_floors_at_one():
+    assert log10_group(2) == 1.0
+    assert log10_group(5) == 1.0
+    assert log10_group(1000) == pytest.approx(3.0)
+
+
+def test_explicit_d1_d2_override_log_rule():
+    config = SrmConfig(d1=7.0, d2=9.0)
+    params = config.fixed_params(group_size=100)
+    assert params.d1 == 7.0
+    assert params.d2 == 9.0
+
+
+def test_backoff_factor_switches_with_adaptive():
+    # Section VII-A: "we use a multiplicative factor of 3 rather than 2".
+    assert SrmConfig().backoff_factor() == 2.0
+    assert SrmConfig(adaptive=True).backoff_factor() == 3.0
+
+
+def test_copy_with_overrides():
+    config = SrmConfig(c1=5.0)
+    clone = config.copy(c2=9.0)
+    assert clone.c1 == 5.0
+    assert clone.c2 == 9.0
+    assert config.c2 == 2.0
+
+
+def test_adaptive_bounds_initial_params():
+    bounds = AdaptiveBounds()
+    params = bounds.initial_params(group_size=1000)
+    assert params.c1 == 2.0
+    assert params.c2 == 2.0
+    assert params.d1 == pytest.approx(3.0)
+    assert params.d2 == pytest.approx(3.0)
+
+
+def test_d1_cap_defaults_to_initial_value():
+    bounds = AdaptiveBounds()
+    assert bounds.effective_d1_max(1000) == pytest.approx(3.0)
+    explicit = AdaptiveBounds(d1_max=5.5)
+    assert explicit.effective_d1_max(1000) == 5.5
+
+
+def test_timer_params_copy_is_independent():
+    params = TimerParams(c1=1, c2=2, d1=3, d2=4)
+    clone = params.copy()
+    clone.c1 = 99
+    assert params.c1 == 1
+
+
+def test_holddown_factor_default():
+    # Section III-B: ignore requests for 3 * d after a repair.
+    assert SrmConfig().holddown_factor == 3.0

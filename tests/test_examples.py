@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples are documentation; a release where they crash is broken.
+Each is executed in-process (they all expose ``main()``), with output
+captured.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart",
+    "whiteboard_session",
+    "adaptive_tuning",
+    "local_recovery",
+    "layered_multicast",
+]
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path(monkeypatch):
+    import pathlib
+    examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
+    monkeypatch.syspath_prepend(str(examples_dir))
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"

@@ -1,0 +1,76 @@
+"""Unit tests for multicast group membership."""
+
+from repro.mcast.groups import GroupManager
+from repro.net.packet import GroupAddress
+
+
+def test_allocate_unique_groups():
+    manager = GroupManager()
+    a = manager.allocate("one")
+    b = manager.allocate("two")
+    assert a != b
+    assert manager.known_groups() == [a, b]
+
+
+def test_join_and_members_sorted():
+    manager = GroupManager()
+    group = manager.allocate()
+    for node in (5, 1, 3):
+        manager.join(node, group)
+    assert manager.members(group) == (1, 3, 5)
+    assert manager.size(group) == 3
+
+
+def test_join_is_idempotent():
+    manager = GroupManager()
+    group = manager.allocate()
+    manager.join(1, group)
+    manager.join(1, group)
+    assert manager.members(group) == (1,)
+
+
+def test_leave_removes_member():
+    manager = GroupManager()
+    group = manager.allocate()
+    manager.join(1, group)
+    manager.join(2, group)
+    manager.leave(1, group)
+    assert manager.members(group) == (2,)
+    assert not manager.is_member(1, group)
+    assert manager.is_member(2, group)
+
+
+def test_leave_nonmember_is_noop():
+    manager = GroupManager()
+    group = manager.allocate()
+    manager.leave(9, group)
+    assert manager.members(group) == ()
+
+
+def test_membership_of_unknown_group_is_empty():
+    manager = GroupManager()
+    stranger = GroupAddress(999)
+    assert manager.members(stranger) == ()
+    assert manager.size(stranger) == 0
+    assert not manager.is_member(1, stranger)
+
+
+def test_member_cache_invalidation():
+    manager = GroupManager()
+    group = manager.allocate()
+    manager.join(2, group)
+    assert manager.members(group) == (2,)
+    manager.join(1, group)
+    assert manager.members(group) == (1, 2)
+    manager.leave(2, group)
+    assert manager.members(group) == (1,)
+
+
+def test_independent_groups():
+    manager = GroupManager()
+    a = manager.allocate("a")
+    b = manager.allocate("b")
+    manager.join(1, a)
+    manager.join(2, b)
+    assert manager.members(a) == (1,)
+    assert manager.members(b) == (2,)

@@ -1,0 +1,155 @@
+"""Unit tests for links and drop filters."""
+
+import pytest
+
+from repro.net.link import (
+    BernoulliDropFilter,
+    Link,
+    MatchDropFilter,
+    NthPacketDropFilter,
+)
+from repro.net.packet import Packet
+from repro.sim.rng import RandomSource
+
+
+def data_packet(origin=1, kind="data"):
+    return Packet(origin=origin, dst=99, kind=kind)
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link(1, 1)
+    with pytest.raises(ValueError):
+        Link(1, 2, delay=0)
+    with pytest.raises(ValueError):
+        Link(1, 2, threshold=0)
+
+
+def test_link_other_end():
+    link = Link(1, 2)
+    assert link.other(1) == 2
+    assert link.other(2) == 1
+    with pytest.raises(ValueError):
+        link.other(3)
+
+
+def test_link_accounting():
+    link = Link(1, 2)
+    packet = data_packet()
+    link.account(packet)
+    link.account(packet)
+    assert link.packets_carried == 2
+    assert link.bytes_carried == 2 * packet.size
+
+
+def test_nth_packet_drop_filter_drops_exactly_one():
+    link = Link(1, 2)
+    drop = NthPacketDropFilter(lambda p: p.kind == "data")
+    link.add_filter(drop)
+    assert link.drops_packet(data_packet(), 1) is True
+    assert link.drops_packet(data_packet(), 1) is False
+    assert drop.drops == 1
+
+
+def test_nth_packet_drop_filter_skips_non_matching():
+    drop = NthPacketDropFilter(lambda p: p.kind == "data")
+    link = Link(1, 2)
+    link.add_filter(drop)
+    assert link.drops_packet(data_packet(kind="ctrl"), 1) is False
+    assert link.drops_packet(data_packet(), 1) is True
+
+
+def test_nth_packet_drop_filter_counts_to_n():
+    drop = NthPacketDropFilter(lambda p: True, n=3)
+    link = Link(1, 2)
+    link.add_filter(drop)
+    results = [link.drops_packet(data_packet(), 1) for _ in range(4)]
+    assert results == [False, False, True, False]
+
+
+def test_nth_packet_drop_filter_rearm():
+    drop = NthPacketDropFilter(lambda p: True)
+    link = Link(1, 2)
+    link.add_filter(drop)
+    assert link.drops_packet(data_packet(), 1) is True
+    drop.rearm()
+    assert link.drops_packet(data_packet(), 1) is True
+    assert drop.drops == 2
+
+
+def test_nth_filter_rejects_bad_n():
+    with pytest.raises(ValueError):
+        NthPacketDropFilter(lambda p: True, n=0)
+
+
+def test_directional_filter_only_matches_one_way():
+    drop = NthPacketDropFilter(lambda p: True, direction=(1, 2))
+    link = Link(1, 2)
+    link.add_filter(drop)
+    # Traversal 2 -> 1 does not match; the filter stays armed.
+    assert link.drops_packet(data_packet(), 2) is False
+    assert link.drops_packet(data_packet(), 1) is True
+
+
+def test_bernoulli_filter_extremes():
+    rng = RandomSource(1)
+    never = BernoulliDropFilter(0.0, rng)
+    always = BernoulliDropFilter(1.0, rng)
+    link = Link(1, 2)
+    link.add_filter(never)
+    assert not any(link.drops_packet(data_packet(), 1) for _ in range(20))
+    link.clear_filters()
+    link.add_filter(always)
+    assert all(link.drops_packet(data_packet(), 1) for _ in range(20))
+
+
+def test_bernoulli_filter_rate_roughly_matches():
+    rng = RandomSource(5)
+    drop = BernoulliDropFilter(0.3, rng)
+    link = Link(1, 2)
+    link.add_filter(drop)
+    drops = sum(link.drops_packet(data_packet(), 1) for _ in range(2000))
+    assert 450 < drops < 750
+
+
+def test_bernoulli_filter_validation():
+    with pytest.raises(ValueError):
+        BernoulliDropFilter(1.5, RandomSource(1))
+
+
+def test_bernoulli_predicate_respected():
+    drop = BernoulliDropFilter(1.0, RandomSource(1),
+                               predicate=lambda p: p.kind == "data")
+    link = Link(1, 2)
+    link.add_filter(drop)
+    assert link.drops_packet(data_packet(kind="ctrl"), 1) is False
+    assert link.drops_packet(data_packet(), 1) is True
+
+
+def test_match_filter_drops_everything_matching():
+    drop = MatchDropFilter(lambda p: p.origin == 1)
+    link = Link(1, 2)
+    link.add_filter(drop)
+    assert link.drops_packet(data_packet(origin=1), 1)
+    assert link.drops_packet(data_packet(origin=1), 1)
+    assert not link.drops_packet(data_packet(origin=9), 1)
+
+
+def test_multiple_filters_any_drop_wins():
+    link = Link(1, 2)
+    link.add_filter(MatchDropFilter(lambda p: p.kind == "a"))
+    link.add_filter(MatchDropFilter(lambda p: p.kind == "b"))
+    assert link.drops_packet(data_packet(kind="a"), 1)
+    assert link.drops_packet(data_packet(kind="b"), 1)
+    assert not link.drops_packet(data_packet(kind="c"), 1)
+
+
+def test_remove_and_clear_filters():
+    link = Link(1, 2)
+    drop = MatchDropFilter(lambda p: True)
+    link.add_filter(drop)
+    link.remove_filter(drop)
+    assert not link.drops_packet(data_packet(), 1)
+    link.add_filter(drop)
+    link.clear_filters()
+    assert not link.drops_packet(data_packet(), 1)

@@ -1,0 +1,79 @@
+"""Tests for SRM wire-message payloads."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import (
+    KIND_DATA,
+    KIND_PAGE_REPLY,
+    KIND_PAGE_REQUEST,
+    KIND_REPAIR,
+    KIND_REQUEST,
+    KIND_SESSION,
+    DataPayload,
+    PageReplyPayload,
+    PageRequestPayload,
+    RepairPayload,
+    RequestPayload,
+    SessionPayload,
+    SessionTimestamp,
+)
+from repro.core.names import AduName, DEFAULT_PAGE, PageId
+
+NAME = AduName(1, DEFAULT_PAGE, 3)
+
+
+def test_kind_tags_are_distinct():
+    kinds = {KIND_DATA, KIND_REQUEST, KIND_REPAIR, KIND_SESSION,
+             KIND_PAGE_REQUEST, KIND_PAGE_REPLY}
+    assert len(kinds) == 6
+    assert all(kind.startswith("srm-") for kind in kinds)
+
+
+def test_payloads_are_immutable():
+    payload = DataPayload(name=NAME, data="x")
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        payload.data = "y"  # type: ignore[misc]
+
+
+def test_request_payload_carries_distance():
+    payload = RequestPayload(name=NAME, requester=7,
+                             requester_distance_to_source=4.5)
+    assert payload.requester == 7
+    assert payload.requester_distance_to_source == 4.5
+
+
+def test_repair_payload_defaults():
+    payload = RepairPayload(name=NAME, data="bytes", replier=2)
+    assert payload.answering is None
+    assert payload.local_step is False
+    two_step = RepairPayload(name=NAME, data="bytes", replier=2,
+                             answering=9, local_step=True)
+    assert two_step.answering == 9
+    assert two_step.local_step
+
+
+def test_session_payload_structure():
+    page = PageId(1, 4)
+    payload = SessionPayload(
+        member=3, sent_at=12.0, page=page,
+        page_state={(1, page): 9},
+        echoes={5: SessionTimestamp(t1=10.0, delta=1.5)})
+    assert payload.page_state[(1, page)] == 9
+    assert payload.echoes[5].delta == 1.5
+
+
+def test_page_request_and_reply_payloads():
+    page = PageId(2, 1)
+    request = PageRequestPayload(page=page, requester=4)
+    reply = PageReplyPayload(page=page, replier=6,
+                             page_state={(2, page): 3})
+    assert request.page == reply.page
+    assert reply.page_state[(2, page)] == 3
+
+
+def test_payload_equality_is_by_value():
+    a = DataPayload(name=NAME, data="x")
+    b = DataPayload(name=NAME, data="x")
+    assert a == b

@@ -1,0 +1,54 @@
+"""Unit tests for ADU names and pages."""
+
+import pytest
+
+from repro.core.names import DEFAULT_PAGE, AduName, PageId, name_range
+
+
+def test_page_identity_and_ordering():
+    a = PageId(1, 1)
+    b = PageId(1, 2)
+    c = PageId(2, 1)
+    assert a == PageId(1, 1)
+    assert a < b < c
+    assert str(a) == "page(1:1)"
+
+
+def test_names_are_value_objects():
+    a = AduName(3, DEFAULT_PAGE, 5)
+    b = AduName(3, DEFAULT_PAGE, 5)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_name_ordering_by_source_page_seq():
+    names = [AduName(2, DEFAULT_PAGE, 1), AduName(1, DEFAULT_PAGE, 9),
+             AduName(1, DEFAULT_PAGE, 2)]
+    assert sorted(names) == [AduName(1, DEFAULT_PAGE, 2),
+                             AduName(1, DEFAULT_PAGE, 9),
+                             AduName(2, DEFAULT_PAGE, 1)]
+
+
+def test_sequence_numbers_start_at_one():
+    with pytest.raises(ValueError):
+        AduName(1, DEFAULT_PAGE, 0)
+    with pytest.raises(ValueError):
+        AduName(1, DEFAULT_PAGE, -3)
+
+
+def test_name_str():
+    name = AduName(3, PageId(3, 7), 12)
+    assert str(name) == "3:3.7:12"
+
+
+def test_name_range():
+    names = name_range(1, DEFAULT_PAGE, 2, 4)
+    assert [n.seq for n in names] == [2, 3, 4]
+    assert name_range(1, DEFAULT_PAGE, 5, 4) == []
+
+
+def test_names_immutable():
+    name = AduName(1, DEFAULT_PAGE, 1)
+    with pytest.raises(Exception):
+        name.seq = 2  # type: ignore[misc]

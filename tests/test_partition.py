@@ -1,0 +1,80 @@
+"""Tests for network partitioning (Section III-D).
+
+"During a partition, members can continue to send data in the connected
+components of the partitions. After recovery all data will still have
+unique names and the repair mechanism will distribute any new state
+throughout the entire group." SRM does not even distinguish a partition
+from members leaving.
+"""
+
+from repro.core.config import SrmConfig
+from repro.core.names import AduName, DEFAULT_PAGE
+from repro.net.link import MatchDropFilter
+from repro.topology.chain import chain
+
+from conftest import build_srm_session
+
+
+def partition_session(heal_at=200.0):
+    config = SrmConfig(session_enabled=True, session_min_interval=10.0)
+    network, agents, group = build_srm_session(chain(6), range(6),
+                                               config=config)
+    cut = MatchDropFilter(lambda p: True)
+    network.add_drop_filter(2, 3, cut)
+
+    def heal():
+        network.link_between(2, 3).remove_filter(cut)
+
+    network.scheduler.schedule(heal_at, heal)
+    return network, agents
+
+
+def test_both_sides_progress_during_partition():
+    network, agents = partition_session(heal_at=10_000.0)
+    network.scheduler.schedule(10.0, lambda: agents[0].send_data("left"))
+    network.scheduler.schedule(10.0, lambda: agents[5].send_data("right"))
+    network.run(until=150.0)
+    left_name = AduName(0, DEFAULT_PAGE, 1)
+    right_name = AduName(5, DEFAULT_PAGE, 1)
+    for node in (0, 1, 2):
+        assert agents[node].store.have(left_name)
+        assert not agents[node].store.have(right_name)
+    for node in (3, 4, 5):
+        assert agents[node].store.have(right_name)
+        assert not agents[node].store.have(left_name)
+
+
+def test_state_merges_after_healing():
+    """After the partition heals, session messages reveal the missing
+    state and repairs distribute it across the former boundary."""
+    network, agents = partition_session(heal_at=200.0)
+    network.scheduler.schedule(10.0, lambda: agents[0].send_data("L1"))
+    network.scheduler.schedule(20.0, lambda: agents[0].send_data("L2"))
+    network.scheduler.schedule(15.0, lambda: agents[5].send_data("R1"))
+    network.run(until=1500.0)
+    for seq, source in ((1, 0), (2, 0), (1, 5)):
+        name = AduName(source, DEFAULT_PAGE, seq)
+        for node in range(6):
+            assert agents[node].store.have(name), (node, name)
+    # Names never collided: both sides used their own Source-IDs.
+    assert agents[3].store.get(AduName(0, DEFAULT_PAGE, 1)) == "L1"
+    assert agents[1].store.get(AduName(5, DEFAULT_PAGE, 1)) == "R1"
+
+
+def test_rejoining_member_keeps_its_source_id():
+    """A member that leaves and rejoins retains ownership of data it
+    created before quitting (persistent Source-IDs, Section II-C)."""
+    config = SrmConfig(session_enabled=True, session_min_interval=10.0)
+    network, agents, group = build_srm_session(chain(4), range(4),
+                                               config=config)
+    network.scheduler.schedule(5.0, lambda: agents[3].send_data("mine"))
+    network.run(until=50.0)
+    agents[3].leave_group()
+    network.run(until=100.0)
+    agents[3].join_group(group)
+    network.scheduler.schedule(101.0, lambda: agents[3].send_data("more"))
+    network.run(until=400.0)
+    # Its stream continued: seq 2 under the same Source-ID, no renaming.
+    assert agents[0].store.have(AduName(3, DEFAULT_PAGE, 1))
+    assert agents[0].store.have(AduName(3, DEFAULT_PAGE, 2))
+    assert agents[0].store.get(AduName(3, DEFAULT_PAGE, 2)) == "more"

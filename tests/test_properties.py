@@ -1,0 +1,135 @@
+"""System-level property tests (hypothesis).
+
+The invariants the SRM framework promises:
+
+* Reliability: "eventual delivery of all the data to all the group
+  members" — whatever single-link loss pattern hits the original
+  transmission, every member ends up holding every ADU.
+* Consistency: every member's copy of a name is byte-identical.
+* Determinism: the same seed reproduces the same trace.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SrmConfig
+from repro.core.names import AduName, DEFAULT_PAGE
+from repro.net.link import BernoulliDropFilter, NthPacketDropFilter
+from repro.sim.rng import RandomSource
+from repro.topology.random_tree import random_labeled_tree
+
+from conftest import build_srm_session
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_reliability_under_random_single_link_drops(data):
+    """Drop the first k data packets on a random tree link; every member
+    still converges to the full data set."""
+    seed = data.draw(st.integers(0, 10_000), label="seed")
+    rng = RandomSource(seed)
+    n = data.draw(st.integers(4, 20), label="nodes")
+    spec = random_labeled_tree(n, rng)
+    member_count = data.draw(st.integers(3, n), label="members")
+    members = sorted(rng.sample(range(n), member_count))
+    network, agents, _ = build_srm_session(spec, members, seed=seed)
+    source = rng.choice(members)
+    drop_link = rng.choice(spec.edges)
+    drop_count = data.draw(st.integers(1, 2), label="drops")
+    network.add_drop_filter(*drop_link, NthPacketDropFilter(
+        lambda p: p.kind == "srm-data" and p.origin == source,
+        n=1))
+    if drop_count == 2:
+        network.add_drop_filter(*drop_link, NthPacketDropFilter(
+            lambda p: p.kind == "srm-data" and p.origin == source, n=2))
+    packets = data.draw(st.integers(3, 6), label="packets")
+
+    def send_burst():
+        for i in range(packets):
+            network.scheduler.schedule(
+                float(i), lambda i=i: agents[source].send_data(f"p{i}"))
+
+    network.scheduler.schedule(0.0, send_burst)
+    network.run(max_events=2_000_000)
+
+    for seq in range(1, packets + 1):
+        name = AduName(source, DEFAULT_PAGE, seq)
+        for member in members:
+            assert agents[member].store.have(name), (member, seq)
+            assert agents[member].store.get(name) == f"p{seq - 1}"
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_reliability_with_lossy_control_channel(seed):
+    """Even when requests and repairs can themselves be dropped, the
+    retransmit timers eventually deliver everything."""
+    rng = RandomSource(seed)
+    spec = random_labeled_tree(10, rng)
+    members = list(range(10))
+    network, agents, _ = build_srm_session(spec, members, seed=seed)
+    source = 0
+    drop_link = rng.choice(spec.edges)
+    network.add_drop_filter(*drop_link, NthPacketDropFilter(
+        lambda p: p.kind == "srm-data" and p.origin == source))
+    # 30% of all control traffic on another link dies.
+    lossy_link = rng.choice(spec.edges)
+    network.add_drop_filter(*lossy_link, BernoulliDropFilter(
+        0.3, RandomSource(seed + 1),
+        predicate=lambda p: p.kind in ("srm-request", "srm-repair")))
+
+    network.scheduler.schedule(0.0, lambda: agents[source].send_data("a"))
+    network.scheduler.schedule(1.0, lambda: agents[source].send_data("b"))
+    network.run(max_events=2_000_000)
+
+    name = AduName(source, DEFAULT_PAGE, 1)
+    abandoned = network.trace.count("request_abandoned")
+    for member in members:
+        # Either the member recovered, or it exhausted its retransmit
+        # budget (possible only under relentless loss).
+        assert agents[member].store.have(name) or abandoned > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1_000))
+def test_same_seed_reproduces_identical_traces(seed):
+    def run_once():
+        rng = RandomSource(seed)
+        spec = random_labeled_tree(12, rng)
+        members = list(range(12))
+        network, agents, _ = build_srm_session(spec, members, seed=seed)
+        network.add_drop_filter(*spec.edges[seed % len(spec.edges)],
+                                NthPacketDropFilter(
+                                    lambda p: p.kind == "srm-data"))
+        network.scheduler.schedule(0.0, lambda: agents[0].send_data("x"))
+        network.scheduler.schedule(1.0, lambda: agents[0].send_data("y"))
+        network.run(max_events=2_000_000)
+        return [(round(r.time, 9), r.node, r.kind) for r in network.trace]
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(5, 16))
+def test_no_member_ever_stores_corrupted_data(seed, n):
+    """Repairs carry the original bytes: all copies are identical."""
+    rng = RandomSource(seed)
+    spec = random_labeled_tree(n, rng)
+    members = list(range(n))
+    network, agents, _ = build_srm_session(spec, members, seed=seed)
+    network.add_drop_filter(*rng.choice(spec.edges), NthPacketDropFilter(
+        lambda p: p.kind == "srm-data"))
+    payloads = {f"payload-{i}": None for i in range(3)}
+    def send_all():
+        for i in range(3):
+            network.scheduler.schedule(
+                float(i), lambda i=i: agents[0].send_data(f"payload-{i}"))
+    network.scheduler.schedule(0.0, send_all)
+    network.run(max_events=2_000_000)
+    for seq in range(1, 4):
+        name = AduName(0, DEFAULT_PAGE, seq)
+        values = {repr(agents[m].store.get(name)) for m in members
+                  if agents[m].store.have(name)}
+        assert len(values) == 1

@@ -1,0 +1,84 @@
+"""Tests for DVMRP-style pruned multicast forwarding (hop engine)."""
+
+from repro.net.node import Agent
+from repro.net.packet import Packet
+from repro.topology.btree import balanced_tree
+from repro.topology.chain import chain
+
+
+class Sink(Agent):
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet.uid)
+
+
+def test_traffic_stays_off_memberless_subtrees():
+    spec = balanced_tree(13, 3)  # root 0; children 1,2,3
+    network = spec.build(delivery="hop")
+    network.account_bandwidth = True
+    group = network.groups.allocate()
+    sink = Sink()
+    network.attach(1, sink)
+    network.join(1, group)  # only node 1's branch has a member
+    network.scheduler.schedule(0.0, network.send_multicast, 0, group,
+                               "data")
+    network.run()
+    assert sink.received
+    assert network.link_between(0, 1).packets_carried == 1
+    assert network.link_between(0, 2).packets_carried == 0
+    assert network.link_between(0, 3).packets_carried == 0
+
+
+def test_prune_follows_membership_changes():
+    network = chain(5).build(delivery="hop")
+    network.account_bandwidth = True
+    group = network.groups.allocate()
+    sink = Sink()
+    network.attach(4, sink)
+    network.join(4, group)
+    network.scheduler.schedule(0.0, network.send_multicast, 0, group,
+                               "data")
+    network.run()
+    assert network.link_between(3, 4).packets_carried == 1
+    # The member leaves: subsequent multicasts stop at the graft point.
+    network.leave(4, group)
+    network.join(2, group)
+    network.scheduler.schedule(0.0, network.send_multicast, 0, group,
+                               "data")
+    network.run()
+    assert network.link_between(3, 4).packets_carried == 1  # unchanged
+    assert network.link_between(1, 2).packets_carried == 2
+
+
+def test_prune_cache_is_per_group():
+    network = chain(4).build(delivery="hop")
+    network.account_bandwidth = True
+    group_a = network.groups.allocate("a")
+    group_b = network.groups.allocate("b")
+    sink_near, sink_far = Sink(), Sink()
+    network.attach(1, sink_near)
+    network.attach(3, sink_far)
+    network.join(1, group_a)
+    network.join(3, group_b)
+    network.scheduler.schedule(0.0, network.send_multicast, 0, group_a,
+                               "data")
+    network.scheduler.schedule(0.0, network.send_multicast, 0, group_b,
+                               "data")
+    network.run()
+    # Group A's packet stopped at node 1; group B's went all the way.
+    assert network.link_between(2, 3).packets_carried == 1
+    assert len(sink_near.received) == 1
+    assert len(sink_far.received) == 1
+
+
+def test_empty_group_generates_no_traffic():
+    network = chain(4).build(delivery="hop")
+    network.account_bandwidth = True
+    group = network.groups.allocate()
+    network.scheduler.schedule(0.0, network.send_multicast, 0, group,
+                               "data")
+    network.run()
+    assert all(link.packets_carried == 0 for link in network.links)

@@ -1,0 +1,122 @@
+"""Tests for separate recovery multicast groups (Section VII-B2)."""
+
+import pytest
+
+from repro.core.config import SrmConfig
+from repro.core.names import AduName, DEFAULT_PAGE, PageId
+from repro.core.recovery_groups import RecoveryGroup, \
+    invite_loss_neighborhood
+from repro.net.link import MatchDropFilter, NthPacketDropFilter
+from repro.topology.chain import chain
+
+from conftest import build_srm_session
+
+NAME1 = AduName(0, DEFAULT_PAGE, 1)
+
+
+def lossy_tail_session(chain_length=10, tail_start=7):
+    """A chain whose tail persistently loses the first data packet."""
+    network, agents, group = build_srm_session(chain(chain_length),
+                                               range(chain_length))
+    network.add_drop_filter(tail_start - 1, tail_start,
+                            NthPacketDropFilter(
+                                lambda p: p.kind == "srm-data"))
+    return network, agents, group
+
+
+def test_recovery_traffic_confined_to_group():
+    network, agents, session_group = lossy_tail_session()
+    # Tail members 7-9 plus helper 6 (holds the data) form the group.
+    recovery = invite_loss_neighborhood(
+        network, initiator=agents[7], agents=agents.values(),
+        loss_members=[7, 8, 9], helpers=[6])
+    assert recovery.member_nodes() == [6, 7, 8, 9]
+
+    network.scheduler.schedule(0.0, lambda: agents[0].send_data("lost"))
+    network.scheduler.schedule(1.0, lambda: agents[0].send_data("trig"))
+    network.run()
+
+    # Everyone in the tail recovered.
+    for node in (7, 8, 9):
+        assert agents[node].store.have(NAME1)
+    # Recovery packets flowed on the recovery group only: members far
+    # from the tail never received a request or a repair.
+    requests = network.trace.filter(kind="send_request")
+    assert requests
+    for row in network.trace.filter(kind="recv_data",
+                                    predicate=lambda r:
+                                    r.detail.get("repair")):
+        assert row.node in (6, 7, 8, 9)
+
+
+def test_repairs_answer_on_the_request_group():
+    network, agents, _ = lossy_tail_session()
+    recovery = invite_loss_neighborhood(
+        network, initiator=agents[7], agents=agents.values(),
+        loss_members=[7, 8, 9], helpers=[6])
+    network.scheduler.schedule(0.0, lambda: agents[0].send_data("lost"))
+    network.scheduler.schedule(1.0, lambda: agents[0].send_data("trig"))
+    network.run()
+    # The replier is inside the group (node 6 or another member), not
+    # the far-away original source.
+    repair_rows = network.trace.filter(kind="send_repair")
+    assert repair_rows
+    assert all(row.node in (6, 7, 8, 9) for row in repair_rows)
+
+
+def test_scoped_rules_by_source():
+    network, agents, _ = lossy_tail_session()
+    group = network.groups.allocate("scoped")
+    # Only data from source 0 is recovered on the group.
+    agents[7].join_recovery_group(group, source=0)
+    assert agents[7]._recovery_group_for(NAME1) == group
+    other = AduName(3, DEFAULT_PAGE, 1)
+    assert agents[7]._recovery_group_for(other) is None
+
+
+def test_scoped_rules_by_page():
+    network, agents, _ = lossy_tail_session()
+    group = network.groups.allocate("scoped")
+    page = PageId(creator=0, number=7)
+    agents[7].join_recovery_group(group, page=page)
+    assert agents[7]._recovery_group_for(AduName(0, page, 1)) == group
+    assert agents[7]._recovery_group_for(NAME1) is None
+
+
+def test_withdraw_and_dissolve():
+    network, agents, _ = lossy_tail_session()
+    recovery = RecoveryGroup.establish(network, agents[7], [agents[8]])
+    assert recovery.member_nodes() == [7, 8]
+    recovery.withdraw(agents[8])
+    assert recovery.member_nodes() == [7]
+    assert agents[8]._recovery_group_for(NAME1) is None
+    recovery.dissolve()
+    assert recovery.member_nodes() == []
+    with pytest.raises(RuntimeError):
+        recovery.admit(agents[7])
+
+
+def test_admit_is_idempotent():
+    network, agents, _ = lossy_tail_session()
+    recovery = RecoveryGroup.establish(network, agents[7], [])
+    recovery.admit(agents[7])
+    assert recovery.member_nodes() == [7]
+
+
+def test_recovery_without_helper_falls_back_to_retries():
+    """A recovery group with no data holder cannot recover: the
+    requester retries and eventually abandons (the paper's requirement
+    that the group 'must include some member capable of sending
+    repairs')."""
+    config = SrmConfig(max_request_rounds=3)
+    network, agents, _ = build_srm_session(chain(10), range(10),
+                                           config=config)
+    network.add_drop_filter(6, 7, NthPacketDropFilter(
+        lambda p: p.kind == "srm-data"))
+    RecoveryGroup.establish(network, agents[7],
+                            [agents[8], agents[9]])  # no helper!
+    network.scheduler.schedule(0.0, lambda: agents[0].send_data("lost"))
+    network.scheduler.schedule(1.0, lambda: agents[0].send_data("trig"))
+    network.run(until=50_000.0)
+    assert network.trace.count("request_abandoned") >= 1
+    assert not agents[7].store.have(NAME1)

@@ -1,0 +1,56 @@
+"""Tests for the robustness scenario sweep (Section V-B)."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    DEFAULT_CASES,
+    format_table,
+    run_robustness,
+)
+
+
+def test_all_cases_recover():
+    results = run_robustness(rounds=3, seed=55)
+    assert len(results) == len(DEFAULT_CASES)
+    for result in results:
+        assert result.all_recovered, result.name
+
+
+def test_duplicates_stay_bounded():
+    """The paper: none of the variations 'significantly affected the
+    performance of the loss recovery algorithms'."""
+    results = run_robustness(rounds=3, seed=55)
+    for result in results:
+        assert result.mean_requests < 12, result.name
+        assert result.mean_repairs < 15, result.name
+
+
+def test_subset_of_cases():
+    results = run_robustness(case_names=["adjacent-drop"], rounds=2,
+                             seed=7)
+    assert len(results) == 1
+    assert results[0].all_recovered
+
+
+def test_single_member_loss_is_actually_single():
+    results = run_robustness(case_names=["single-member"], rounds=2,
+                             seed=9)
+    for outcome in results[0].outcomes:
+        assert outcome.report.losses_detected == 1
+
+
+def test_format_table():
+    results = run_robustness(case_names=["degree-10"], rounds=2, seed=3)
+    table = format_table(results)
+    assert "degree 10" in table
+    assert "yes" in table
+
+
+def test_heterogeneous_delays_change_the_metric_space():
+    """With delays 1..20, recovery still completes and delay ratios are
+    still computed against true (heterogeneous) RTTs."""
+    results = run_robustness(case_names=["hetero-delay"], rounds=3,
+                             seed=21)
+    result = results[0]
+    assert result.all_recovered
+    assert result.median_delay > 0

@@ -1,0 +1,147 @@
+"""Unit tests for shortest-path source trees."""
+
+import networkx as nx
+import pytest
+
+from repro.net.routing import build_source_tree, pairwise_distance
+from repro.sim.rng import RandomSource
+from repro.topology.chain import chain
+from repro.topology.graphs import tree_plus_edges
+from repro.topology.random_tree import random_labeled_tree
+from repro.topology.star import star
+
+
+def adjacency_of(spec, delays=None, thresholds=None):
+    network = spec.build()
+    if delays:
+        for (a, b), delay in delays.items():
+            network.link_between(a, b).delay = delay
+    if thresholds:
+        for (a, b), threshold in thresholds.items():
+            network.link_between(a, b).threshold = threshold
+    return network.adjacency
+
+
+def test_chain_distances_and_parents():
+    tree = build_source_tree(adjacency_of(chain(6)), 0)
+    assert [tree.dist[i] for i in range(6)] == [0, 1, 2, 3, 4, 5]
+    assert tree.parent[3] == 2
+    assert tree.parent[0] is None
+    assert tree.children[2] == [3]
+
+
+def test_star_distances():
+    tree = build_source_tree(adjacency_of(star(5)), 1)
+    assert tree.dist[0] == 1
+    for leaf in range(2, 6):
+        assert tree.dist[leaf] == 2
+        assert tree.parent[leaf] == 0
+
+
+def test_matches_networkx_on_random_graphs():
+    rng = RandomSource(11)
+    for trial in range(5):
+        spec = tree_plus_edges(40, 55, rng)
+        graph = nx.Graph(spec.edges)
+        adjacency = adjacency_of(spec)
+        source = trial * 7 % 40
+        tree = build_source_tree(adjacency, source)
+        expected = nx.single_source_shortest_path_length(graph, source)
+        for node, hops in expected.items():
+            assert tree.hops[node] == hops
+            assert tree.dist[node] == float(hops)
+
+
+def test_weighted_distances_match_networkx():
+    spec = chain(5)
+    delays = {(0, 1): 5.0, (1, 2): 1.0, (2, 3): 2.0, (3, 4): 0.5}
+    adjacency = adjacency_of(spec, delays=delays)
+    tree = build_source_tree(adjacency, 0)
+    assert tree.dist[4] == pytest.approx(8.5)
+    assert tree.hops[4] == 4
+
+
+def test_subtree_members():
+    tree = build_source_tree(adjacency_of(chain(6)), 0)
+    assert tree.subtree(3) == {3, 4, 5}
+    assert tree.subtree(0) == set(range(6))
+    assert tree.subtree(5) == {5}
+
+
+def test_path_and_path_edges():
+    tree = build_source_tree(adjacency_of(chain(5)), 0)
+    assert tree.path(3) == [0, 1, 2, 3]
+    assert tree.path_edges(3) == [(0, 1), (1, 2), (2, 3)]
+    assert tree.path(0) == [0]
+    assert tree.path_edges(0) == []
+
+
+def test_on_tree_edge_orientation():
+    tree = build_source_tree(adjacency_of(chain(4)), 0)
+    assert tree.on_tree_edge(1, 2) == (1, 2)
+    assert tree.on_tree_edge(2, 1) == (1, 2)
+    assert tree.on_tree_edge(0, 3) is None
+
+
+def test_next_hop_toward():
+    tree = build_source_tree(adjacency_of(chain(5)), 0)
+    assert tree.next_hop_toward(4) == 1
+    assert tree.next_hop_toward(1) == 1
+    with pytest.raises(ValueError):
+        tree.next_hop_toward(0)
+
+
+def test_ttl_required_all_ones():
+    tree = build_source_tree(adjacency_of(chain(5)), 0)
+    # With thresholds of one, reaching a node h hops away needs TTL h.
+    for node in range(5):
+        assert tree.ttl_required[node] == node
+
+
+def test_ttl_required_with_thresholds():
+    spec = chain(4)
+    adjacency = adjacency_of(spec, thresholds={(1, 2): 16})
+    tree = build_source_tree(adjacency, 0)
+    assert tree.ttl_required[1] == 1
+    # Crossing (1, 2) needs TTL >= 16 at node 1, i.e. initial 1 + 16.
+    assert tree.ttl_required[2] == 17
+    assert tree.ttl_required[3] == 17
+
+
+def test_deterministic_tie_breaking():
+    rng = RandomSource(3)
+    spec = tree_plus_edges(30, 45, rng)
+    adjacency = adjacency_of(spec)
+    first = build_source_tree(adjacency, 0)
+    second = build_source_tree(adjacency, 0)
+    assert first.parent == second.parent
+
+
+def test_disconnected_topology_raises():
+    spec = chain(4)
+    network = spec.build()
+    network.add_node(99)  # isolated
+    with pytest.raises(ValueError):
+        build_source_tree(network.adjacency, 0)
+
+
+def test_unknown_origin_raises():
+    with pytest.raises(KeyError):
+        build_source_tree(adjacency_of(chain(3)), 42)
+
+
+def test_pairwise_distance():
+    assert pairwise_distance(adjacency_of(chain(6)), 1, 4) == 3.0
+
+
+def test_random_tree_subtrees_partition_children():
+    rng = RandomSource(17)
+    spec = random_labeled_tree(25, rng)
+    tree = build_source_tree(adjacency_of(spec), 0)
+    kids = tree.children[0]
+    union = set()
+    for child in kids:
+        sub = tree.subtree(child)
+        assert not (union & sub)
+        union |= sub
+    assert union == set(range(25)) - {0}

@@ -1,0 +1,181 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import EventScheduler, SimulationError
+
+
+def test_events_run_in_time_order():
+    sched = EventScheduler()
+    order = []
+    sched.schedule(3.0, order.append, "c")
+    sched.schedule(1.0, order.append, "a")
+    sched.schedule(2.0, order.append, "b")
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_in_schedule_order():
+    sched = EventScheduler()
+    order = []
+    for label in "abcde":
+        sched.schedule(5.0, order.append, label)
+    sched.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(7.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [7.5]
+    assert sched.now == 7.5
+
+
+def test_run_until_stops_before_later_events():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, 1)
+    sched.schedule(10.0, fired.append, 10)
+    executed = sched.run(until=5.0)
+    assert executed == 1
+    assert fired == [1]
+    assert sched.now == 5.0
+    sched.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sched = EventScheduler()
+    sched.run(until=42.0)
+    assert sched.now == 42.0
+
+
+def test_cancelled_event_does_not_fire():
+    sched = EventScheduler()
+    fired = []
+    event = sched.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sched.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sched = EventScheduler()
+    event = sched.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sched.run() == 0
+
+
+def test_events_scheduled_during_run_are_executed():
+    sched = EventScheduler()
+    order = []
+
+    def first():
+        order.append("first")
+        sched.schedule(1.0, lambda: order.append("nested"))
+
+    sched.schedule(1.0, first)
+    sched.run()
+    assert order == ["first", "nested"]
+
+
+def test_scheduling_in_the_past_raises():
+    sched = EventScheduler()
+    with pytest.raises(SimulationError):
+        sched.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_the_past_raises():
+    sched = EventScheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.schedule_at(1.0, lambda: None)
+
+
+def test_max_events_limits_execution():
+    sched = EventScheduler()
+    fired = []
+    for i in range(10):
+        sched.schedule(float(i), fired.append, i)
+    sched.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_executes_one_event():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(2.0, fired.append, "b")
+    assert sched.step() is True
+    assert fired == ["a"]
+    assert sched.step() is True
+    assert sched.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sched = EventScheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sched.peek_time() == 2.0
+
+
+def test_peek_time_empty_heap_is_none():
+    assert EventScheduler().peek_time() is None
+
+
+def test_reset_clears_everything():
+    sched = EventScheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.run()
+    sched.schedule(2.0, lambda: None)
+    sched.reset()
+    assert sched.now == 0.0
+    assert sched.pending() == 0
+    assert sched.peek_time() is None
+
+
+def test_events_processed_counter():
+    sched = EventScheduler()
+    for i in range(5):
+        sched.schedule(float(i), lambda: None)
+    sched.run()
+    assert sched.events_processed == 5
+
+
+def test_pending_counts_only_live_events():
+    sched = EventScheduler()
+    keep = sched.schedule(1.0, lambda: None)
+    drop = sched.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sched.pending() == 1
+    keep.cancel()
+    assert sched.pending() == 0
+
+
+def test_reentrant_run_raises():
+    sched = EventScheduler()
+    errors = []
+
+    def reenter():
+        try:
+            sched.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sched.schedule(1.0, reenter)
+    sched.run()
+    assert len(errors) == 1
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sched = EventScheduler()
+    times = []
+    sched.schedule(5.0, lambda: sched.schedule(
+        0.0, lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [5.0]

@@ -1,0 +1,250 @@
+"""Unit + property tests for the data store and reception state."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.names import DEFAULT_PAGE, AduName, PageId
+from repro.core.state import DataStore, NameRebindError, ReceptionState
+
+
+def name(seq, source=1, page=DEFAULT_PAGE):
+    return AduName(source, page, seq)
+
+
+# ----------------------------------------------------------------------
+# DataStore
+# ----------------------------------------------------------------------
+
+def test_store_put_and_get():
+    store = DataStore()
+    assert store.put(name(1), "a") is True
+    assert store.have(name(1))
+    assert name(1) in store
+    assert store.get(name(1)) == "a"
+    assert len(store) == 1
+
+
+def test_store_duplicate_put_same_data_is_noop():
+    store = DataStore()
+    store.put(name(1), "a")
+    assert store.put(name(1), "a") is False
+    assert len(store) == 1
+
+
+def test_store_rebind_raises():
+    # "The name always refers to the same data" (Section II-C).
+    store = DataStore()
+    store.put(name(1), "blue line")
+    with pytest.raises(NameRebindError):
+        store.put(name(1), "red circle")
+
+
+def test_store_evict():
+    store = DataStore()
+    store.put(name(1), "a")
+    store.evict(name(1))
+    assert not store.have(name(1))
+    store.evict(name(1))  # idempotent
+
+
+def test_store_evict_page():
+    store = DataStore()
+    page_a, page_b = PageId(1, 1), PageId(1, 2)
+    store.put(name(1, page=page_a), "a")
+    store.put(name(2, page=page_a), "b")
+    store.put(name(1, page=page_b), "c")
+    assert store.evict_page(page_a) == 2
+    assert store.names_on_page(page_a) == []
+    assert store.names_on_page(page_b) == [name(1, page=page_b)]
+
+
+def test_store_names_on_page_sorted():
+    store = DataStore()
+    store.put(name(3), "c")
+    store.put(name(1), "a")
+    assert [n.seq for n in store.names_on_page(DEFAULT_PAGE)] == [1, 3]
+
+
+# ----------------------------------------------------------------------
+# ReceptionState
+# ----------------------------------------------------------------------
+
+def test_in_order_reception_reveals_no_gaps():
+    state = ReceptionState()
+    assert state.mark_received(name(1)) == []
+    assert state.mark_received(name(2)) == []
+    assert state.missing(1, DEFAULT_PAGE) == []
+    assert state.complete(1, DEFAULT_PAGE)
+
+
+def test_gap_detection():
+    state = ReceptionState()
+    state.mark_received(name(1))
+    revealed = state.mark_received(name(4))
+    assert revealed == [name(2), name(3)]
+    assert state.missing(1, DEFAULT_PAGE) == [name(2), name(3)]
+    assert not state.complete(1, DEFAULT_PAGE)
+
+
+def test_first_packet_with_high_seq_reveals_prefix():
+    # Streams start at sequence 1: receiving 3 first implies 1-2 missing.
+    state = ReceptionState()
+    revealed = state.mark_received(name(3))
+    assert revealed == [name(1), name(2)]
+
+
+def test_filling_a_gap_reveals_nothing_new():
+    state = ReceptionState()
+    state.mark_received(name(1))
+    state.mark_received(name(4))
+    assert state.mark_received(name(2)) == []
+    assert state.missing(1, DEFAULT_PAGE) == [name(3)]
+
+
+def test_duplicate_reception_is_harmless():
+    state = ReceptionState()
+    state.mark_received(name(2))
+    assert state.mark_received(name(2)) == []
+    assert state.missing(1, DEFAULT_PAGE) == [name(1)]
+
+
+def test_note_high_water_reveals_tail_losses():
+    # Session messages announce the highest seq; a dropped *last* packet
+    # is only detectable this way (Section III-A).
+    state = ReceptionState()
+    state.mark_received(name(1))
+    revealed = state.note_high_water(1, DEFAULT_PAGE, 3)
+    assert revealed == [name(2), name(3)]
+    assert state.highest_seq(1, DEFAULT_PAGE) == 3
+
+
+def test_note_high_water_below_current_is_noop():
+    state = ReceptionState()
+    state.mark_received(name(5))
+    assert state.note_high_water(1, DEFAULT_PAGE, 3) == []
+    assert state.note_high_water(1, DEFAULT_PAGE, 0) == []
+
+
+def test_streams_are_independent():
+    state = ReceptionState()
+    state.mark_received(name(3, source=1))
+    state.mark_received(name(1, source=2))
+    assert state.missing(1, DEFAULT_PAGE) == [name(1), name(2)]
+    assert state.missing(2, DEFAULT_PAGE) == []
+
+
+def test_pages_are_independent():
+    state = ReceptionState()
+    page_b = PageId(1, 5)
+    state.mark_received(name(2, page=page_b))
+    assert state.missing(1, DEFAULT_PAGE) == []
+    assert state.missing(1, page_b) == [name(1, page=page_b)]
+
+
+def test_page_state_reports_per_page():
+    state = ReceptionState()
+    page_b = PageId(1, 5)
+    state.mark_received(name(2))
+    state.mark_received(name(7, source=3))
+    state.mark_received(name(1, page=page_b))
+    report = state.page_state(DEFAULT_PAGE)
+    assert report == {(1, DEFAULT_PAGE): 2, (3, DEFAULT_PAGE): 7}
+
+
+def test_streams_listing():
+    state = ReceptionState()
+    state.mark_received(name(1, source=2))
+    state.mark_received(name(1, source=1))
+    assert state.streams() == [(1, DEFAULT_PAGE), (2, DEFAULT_PAGE)]
+
+
+def test_has_received():
+    state = ReceptionState()
+    state.mark_received(name(2))
+    assert state.has_received(name(2))
+    assert not state.has_received(name(1))
+
+
+# ----------------------------------------------------------------------
+# Stream adoption (live substreams, Section IX-C)
+# ----------------------------------------------------------------------
+
+def test_adopted_stream_skips_history():
+    state = ReceptionState(adopt_streams=True)
+    assert state.mark_received(name(10)) == []
+    assert state.missing(1, DEFAULT_PAGE) == []
+    assert state.complete(1, DEFAULT_PAGE)
+
+
+def test_adopted_stream_still_detects_later_gaps():
+    state = ReceptionState(adopt_streams=True)
+    state.mark_received(name(10))
+    revealed = state.mark_received(name(13))
+    assert revealed == [name(11), name(12)]
+    assert state.missing(1, DEFAULT_PAGE) == [name(11), name(12)]
+
+
+def test_adopted_stream_high_water_does_not_chase_history():
+    state = ReceptionState(adopt_streams=True)
+    assert state.note_high_water(1, DEFAULT_PAGE, 50) == []
+    assert state.missing(1, DEFAULT_PAGE) == []
+    # But data after the adoption point is tracked normally.
+    assert state.mark_received(name(52)) == [name(51)]
+
+
+def test_adoption_is_per_stream():
+    state = ReceptionState(adopt_streams=True)
+    state.mark_received(name(10, source=1))
+    revealed = state.mark_received(name(3, source=2))
+    assert revealed == []  # source 2 adopted at 3
+    assert state.mark_received(name(5, source=2)) == [name(4, source=2)]
+
+
+@settings(max_examples=100, deadline=None)
+@given(seqs=st.lists(st.integers(1, 30), min_size=1, max_size=30))
+def test_property_adopted_missing_never_precedes_first_arrival(seqs):
+    state = ReceptionState(adopt_streams=True)
+    for seq in seqs:
+        state.mark_received(name(seq))
+    first = seqs[0]
+    for missing in state.missing(1, DEFAULT_PAGE):
+        assert missing.seq > first
+
+
+@settings(max_examples=100, deadline=None)
+@given(seqs=st.lists(st.integers(1, 30), min_size=1, max_size=30))
+def test_property_missing_is_exact_complement(seqs):
+    """Whatever the arrival order, missing = {1..max} minus received."""
+    state = ReceptionState()
+    for seq in seqs:
+        state.mark_received(name(seq))
+    received = set(seqs)
+    expected = [name(s) for s in range(1, max(seqs) + 1)
+                if s not in received]
+    assert state.missing(1, DEFAULT_PAGE) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(seqs=st.lists(st.integers(1, 30), min_size=1, max_size=30),
+       high=st.integers(1, 40))
+def test_property_revealed_names_are_each_revealed_once(seqs, high):
+    """Each name is revealed missing at most once, and everything still
+    missing at the end was revealed at some point (a name revealed early
+    may of course be received later)."""
+    state = ReceptionState()
+    revealed = []
+    for seq in seqs:
+        revealed.extend(state.mark_received(name(seq)))
+    revealed.extend(state.note_high_water(1, DEFAULT_PAGE, high))
+    assert len(revealed) == len(set(revealed))
+    assert set(state.missing(1, DEFAULT_PAGE)) <= set(revealed)
+    # Nothing received *before* its reveal is ever revealed.
+    received_order = {}
+    for index, seq in enumerate(seqs):
+        received_order.setdefault(seq, index)
+    for missing_name in revealed:
+        first_rx = received_order.get(missing_name.seq)
+        if first_rx is not None:
+            # It must have been revealed by an earlier higher arrival.
+            assert any(s > missing_name.seq for s in seqs[:first_rx])

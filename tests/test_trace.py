@@ -1,0 +1,91 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+def test_record_and_len():
+    trace = Trace()
+    trace.record(1.0, 3, "send", seq=5)
+    trace.record(2.0, 4, "recv", seq=5)
+    assert len(trace) == 2
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.record(1.0, 3, "send")
+    assert len(trace) == 0
+
+
+def test_filter_by_kind_and_node():
+    trace = Trace()
+    trace.record(1.0, 1, "send")
+    trace.record(2.0, 2, "send")
+    trace.record(3.0, 1, "recv")
+    assert len(trace.filter(kind="send")) == 2
+    assert len(trace.filter(node=1)) == 2
+    assert len(trace.filter(kind="send", node=1)) == 1
+
+
+def test_filter_with_predicate():
+    trace = Trace()
+    trace.record(1.0, 1, "send", seq=1)
+    trace.record(2.0, 1, "send", seq=2)
+    rows = trace.filter(predicate=lambda r: r.detail.get("seq") == 2)
+    assert len(rows) == 1
+    assert rows[0].time == 2.0
+
+
+def test_count_with_detail_filters():
+    trace = Trace()
+    trace.record(1.0, 1, "send", name="a")
+    trace.record(2.0, 2, "send", name="b")
+    trace.record(3.0, 3, "send", name="a")
+    assert trace.count("send") == 3
+    assert trace.count("send", name="a") == 2
+    assert trace.count("recv") == 0
+
+
+def test_first_returns_earliest_by_append_order():
+    trace = Trace()
+    trace.record(5.0, 1, "send", tag="late")
+    trace.record(1.0, 2, "send", tag="early-but-second")
+    assert trace.first("send").detail["tag"] == "late"
+    assert trace.first("missing") is None
+
+
+def test_subscribe_sees_live_records():
+    trace = Trace()
+    seen = []
+    trace.subscribe(seen.append)
+    trace.record(1.0, 1, "send")
+    assert len(seen) == 1
+    assert isinstance(seen[0], TraceRecord)
+
+
+def test_clear_empties_records():
+    trace = Trace()
+    trace.record(1.0, 1, "send")
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_dump_renders_rows():
+    trace = Trace()
+    trace.record(1.0, 1, "send", seq=9)
+    text = trace.dump()
+    assert "send" in text
+    assert "seq=9" in text
+
+
+def test_dump_with_limit():
+    trace = Trace()
+    for i in range(10):
+        trace.record(float(i), i, "tick")
+    assert len(trace.dump(limit=3).splitlines()) == 3
+
+
+def test_iteration_yields_records_in_order():
+    trace = Trace()
+    trace.record(1.0, 1, "a")
+    trace.record(2.0, 2, "b")
+    assert [row.kind for row in trace] == ["a", "b"]

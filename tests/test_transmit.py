@@ -1,0 +1,188 @@
+"""Tests for the token-bucket pacer and priority send queue
+(Sections III-C, III-E)."""
+
+import pytest
+
+from repro.core.config import SrmConfig
+from repro.core.names import PageId
+from repro.core.transmit import (
+    PRIORITY_CURRENT_PAGE_CONTROL,
+    PRIORITY_NEW_DATA,
+    PRIORITY_OLD_PAGE_CONTROL,
+    TokenBucket,
+    TransmitQueue,
+)
+from repro.net.link import NthPacketDropFilter
+from repro.sim.scheduler import EventScheduler
+from repro.topology.chain import chain
+
+from conftest import build_srm_session
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+
+def test_bucket_starts_full_and_consumes():
+    sched = EventScheduler()
+    bucket = TokenBucket(sched, rate=10.0, depth=100.0)
+    assert bucket.try_consume(60.0)
+    assert bucket.try_consume(40.0)
+    assert not bucket.try_consume(1.0)
+
+
+def test_bucket_refills_at_rate():
+    sched = EventScheduler()
+    bucket = TokenBucket(sched, rate=10.0, depth=100.0)
+    bucket.try_consume(100.0)
+    sched.run(until=5.0)
+    assert bucket.tokens == pytest.approx(50.0)
+    assert bucket.try_consume(50.0)
+
+
+def test_bucket_never_exceeds_depth():
+    sched = EventScheduler()
+    bucket = TokenBucket(sched, rate=10.0, depth=100.0)
+    sched.run(until=1000.0)
+    assert bucket.tokens == pytest.approx(100.0)
+
+
+def test_bucket_time_until():
+    sched = EventScheduler()
+    bucket = TokenBucket(sched, rate=10.0, depth=100.0)
+    bucket.try_consume(100.0)
+    assert bucket.time_until(30.0) == pytest.approx(3.0)
+    assert bucket.time_until(0.0) == 0.0
+
+
+def test_bucket_validation():
+    sched = EventScheduler()
+    with pytest.raises(ValueError):
+        TokenBucket(sched, rate=0.0, depth=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(sched, rate=1.0, depth=0.0)
+
+
+# ----------------------------------------------------------------------
+# TransmitQueue
+# ----------------------------------------------------------------------
+
+def test_queue_sends_immediately_when_tokens_available():
+    sched = EventScheduler()
+    queue = TransmitQueue(sched, rate=10.0, depth=100.0)
+    sent = []
+    assert queue.submit(PRIORITY_NEW_DATA, 50.0, lambda: sent.append("a"))
+    assert sent == ["a"]
+    assert len(queue) == 0
+
+
+def test_queue_paces_when_bucket_empty():
+    sched = EventScheduler()
+    queue = TransmitQueue(sched, rate=10.0, depth=100.0)
+    sent = []
+    for label in "abc":
+        queue.submit(PRIORITY_NEW_DATA, 100.0,
+                     lambda label=label: sent.append((sched.now, label)))
+    assert sent == [(0.0, "a")]
+    sched.run(until=25.0)
+    # b needs 100 tokens at 10/s -> t=10; c at t=20.
+    assert sent == [(0.0, "a"), (10.0, "b"), (20.0, "c")]
+
+
+def test_queue_drains_in_priority_order():
+    sched = EventScheduler()
+    queue = TransmitQueue(sched, rate=1000.0, depth=10.0)
+    sent = []
+    queue.submit(PRIORITY_NEW_DATA, 10.0, lambda: sent.append("burst"))
+    # Bucket now empty; queue these in "wrong" order.
+    queue.submit(PRIORITY_OLD_PAGE_CONTROL, 10.0,
+                 lambda: sent.append("old-page"))
+    queue.submit(PRIORITY_NEW_DATA, 10.0, lambda: sent.append("data"))
+    queue.submit(PRIORITY_CURRENT_PAGE_CONTROL, 10.0,
+                 lambda: sent.append("current-page"))
+    sched.run(until=1.0)
+    assert sent == ["burst", "current-page", "data", "old-page"]
+
+
+def test_queue_fifo_within_priority():
+    sched = EventScheduler()
+    queue = TransmitQueue(sched, rate=1000.0, depth=10.0)
+    sent = []
+    queue.submit(PRIORITY_NEW_DATA, 10.0, lambda: sent.append(0))
+    for index in (1, 2, 3):
+        queue.submit(PRIORITY_NEW_DATA, 10.0,
+                     lambda index=index: sent.append(index))
+    sched.run(until=1.0)
+    assert sent == [0, 1, 2, 3]
+
+
+def test_queue_stats():
+    sched = EventScheduler()
+    queue = TransmitQueue(sched, rate=10.0, depth=10.0)
+    queue.submit(PRIORITY_NEW_DATA, 10.0, lambda: None)
+    queue.submit(PRIORITY_NEW_DATA, 10.0, lambda: None)
+    stats = queue.flush_stats()
+    assert stats["transmitted"] == 1
+    assert stats["pending"] == 1
+    assert stats["queued_total"] == 1
+
+
+# ----------------------------------------------------------------------
+# Agent integration
+# ----------------------------------------------------------------------
+
+def test_rate_limited_source_spreads_burst():
+    """A burst of sends from a rate-limited source reaches receivers
+    spaced at the token rate, not all at once."""
+    config = SrmConfig(rate_limit=1000.0, rate_limit_depth=1000.0)
+    network, agents, _ = build_srm_session(chain(3), range(3),
+                                           config=config)
+
+    def burst():
+        for index in range(4):
+            agents[0].send_data(f"p{index}")
+
+    network.scheduler.schedule(0.0, burst)
+    network.run()
+    arrivals = [row.time for row in network.trace.filter(
+        kind="recv_data", node=2)]
+    assert len(arrivals) == 4
+    gaps = [later - earlier for earlier, later in zip(arrivals,
+                                                      arrivals[1:])]
+    # One packet of size 1000 per time unit after the initial burst.
+    assert all(gap == pytest.approx(1.0) for gap in gaps)
+
+
+def test_rate_limited_recovery_prioritizes_current_page():
+    """Under backlog, current-page repairs leave before queued new data
+    for another page (Section III-E's priority policy)."""
+    config = SrmConfig(rate_limit=100.0, rate_limit_depth=1000.0)
+    network, agents, _ = build_srm_session(chain(3), range(3),
+                                           config=config)
+    source = agents[0]
+    current = PageId(creator=0, number=1)
+    other = PageId(creator=0, number=2)
+    source.current_page = current
+    network.add_drop_filter(0, 1, NthPacketDropFilter(
+        lambda p: p.kind == "srm-data"))
+
+    def run_story():
+        source.send_data("lost", page=current)     # dropped
+        source.send_data("trigger", page=current)  # reveals the gap
+
+    network.scheduler.schedule(0.0, run_story)
+    network.run(until=30.0)
+
+    def backlog():
+        # Exhaust the bucket with old-page data, then watch the repair
+        # (current page) overtake the queued backlog.
+        for index in range(30):
+            source.send_data(f"bulk{index}", page=other)
+
+    network.scheduler.schedule(30.0, backlog)
+    network.run()
+    assert agents[2].store.have(
+        __import__("repro.core.names", fromlist=["AduName"]).AduName(
+            0, current, 1))
+    repair_rows = network.trace.filter(kind="send_repair")
+    assert repair_rows  # recovery completed despite the backlog

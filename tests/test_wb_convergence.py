@@ -1,0 +1,86 @@
+"""Property test: whiteboard convergence under arbitrary loss.
+
+Whatever the mix of draw/delete/clear operations, drawers, and data
+loss on a link, every member's rendering of the page converges to the
+same sequence once recovery quiesces — SRM's eventual delivery plus
+wb's idempotent, timestamp-ordered operations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SrmConfig
+from repro.net.link import BernoulliDropFilter
+from repro.sim.rng import RandomSource
+from repro.topology.random_tree import random_labeled_tree
+from repro.wb import DrawOp, DrawType, Whiteboard
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_boards_converge_under_loss(data):
+    seed = data.draw(st.integers(0, 100_000), label="seed")
+    rng = RandomSource(seed)
+    board_count = data.draw(st.integers(3, 8), label="boards")
+    spec = random_labeled_tree(board_count, rng)
+    network = spec.build()
+    group = network.groups.allocate("wb")
+    config = SrmConfig(session_enabled=True, session_min_interval=8.0)
+    boards = []
+    for node in range(board_count):
+        board = Whiteboard(config, rng.fork(f"b{node}"))
+        board.join(network, node, group)
+        boards.append(board)
+    # One lossy link eating a third of the data packets.
+    loss_rate = data.draw(st.sampled_from([0.0, 0.2, 0.4]), label="loss")
+    network.add_drop_filter(*rng.choice(spec.edges), BernoulliDropFilter(
+        loss_rate, rng.fork("loss"),
+        predicate=lambda p: p.kind == "srm-data"))
+
+    op_count = data.draw(st.integers(2, 7), label="ops")
+    op_kinds = [data.draw(st.sampled_from(["draw", "delete", "clear"]),
+                          label=f"op{i}") for i in range(op_count)]
+
+    page_box = {}
+
+    def script() -> None:
+        page = boards[0].create_page()
+        page_box["page"] = page
+        for board in boards:
+            board.view_page(page)
+        drawn = []
+        when = 1.0
+        for kind in op_kinds:
+            drawer = boards[rng.randint(0, board_count - 1)]
+            if kind == "draw" or not drawn:
+                def do_draw(drawer=drawer, when=when):
+                    drawn.append(drawer.draw(page, DrawOp(
+                        DrawType.LINE, ((0.0, 0.0), (when, when)),
+                        color=f"c{len(drawn)}")))
+                network.scheduler.schedule(when, do_draw)
+            elif kind == "delete":
+                def do_delete(drawer=drawer):
+                    if drawn:
+                        drawer.delete(page, drawn[0])
+                network.scheduler.schedule(when, do_delete)
+            else:
+                network.scheduler.schedule(
+                    when, lambda drawer=drawer: drawer.clear(page))
+            when += 3.0
+
+    network.scheduler.schedule(0.0, script)
+    network.run(until=2500.0)
+
+    page = page_box["page"]
+    reference = [(op.color, op.timestamp)
+                 for op in boards[0].render(page)]
+    for board in boards[1:]:
+        view = [(op.color, op.timestamp) for op in board.render(page)]
+        assert view == reference
+    # Every board also holds every op (eventual delivery, not just
+    # eventually-equal renderings).
+    reference_count = boards[0].op_count(page)
+    for board in boards:
+        assert board.op_count(page) == reference_count
