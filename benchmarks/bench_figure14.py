@@ -12,15 +12,17 @@ from repro.experiments.figure14 import run_figure14
 from conftest import scale
 
 
-def test_figure14(once):
+def test_figure14(once, bench_runner):
     sizes = (20, 40, 60, 80, 100) if scale(0, 1) else (20, 60)
     sims = scale(6, 20)
     rounds = scale(25, 40)
 
     def experiment():
-        fixed = run_figure4(sizes=sizes, sims_per_size=sims, seed=4)
+        fixed = run_figure4(sizes=sizes, sims_per_size=sims, seed=4,
+                            runner=bench_runner)
         adaptive = run_figure14(sizes=sizes, sims_per_size=sims,
-                                rounds=rounds, seed=4)
+                                rounds=rounds, seed=4,
+                                runner=bench_runner)
         return fixed, adaptive
 
     fixed, adaptive = once(experiment)

@@ -13,16 +13,18 @@ from repro.experiments.figure15 import run_figure15
 from conftest import scale
 
 
-def test_figure15(once):
+def test_figure15(once, bench_runner):
     sizes = (50, 100, 150, 200, 250) if scale(0, 1) else (50, 150, 250)
     sims = scale(10, 20)
     nodes = scale(500, 1000)
 
     def experiment():
         two = run_figure15(sizes=sizes, sims_per_size=sims,
-                           num_nodes=nodes, mode="two-step", seed=15)
+                           num_nodes=nodes, mode="two-step", seed=15,
+                           runner=bench_runner)
         one = run_figure15(sizes=sizes, sims_per_size=sims,
-                           num_nodes=nodes, mode="one-step", seed=15)
+                           num_nodes=nodes, mode="one-step", seed=15,
+                           runner=bench_runner)
         return two, one
 
     two, one = once(experiment)

@@ -10,12 +10,13 @@ from repro.experiments.figure6 import run_figure6
 from conftest import scale
 
 
-def test_figure6(once):
+def test_figure6(once, bench_runner):
     c2_values = tuple(range(0, 101, 10)) if scale(0, 1) else (0, 10, 50, 100)
     hops = (1, 2, 5, 10)
     sims = scale(8, 20)
     result = once(run_figure6, c2_values=c2_values, failure_hops=hops,
-                  sims_per_value=sims, chain_length=scale(60, 100), seed=6)
+                  sims_per_value=sims, chain_length=scale(60, 100), seed=6,
+                  runner=bench_runner)
 
     print()
     print(result.format_table())

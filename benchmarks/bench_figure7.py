@@ -10,12 +10,13 @@ from repro.experiments.figure7 import run_figure7
 from conftest import scale
 
 
-def test_figure7(once):
+def test_figure7(once, bench_runner):
     c2_values = (0, 1, 2, 3, 5, 8, 12, 20, 35, 60, 100) if scale(0, 1) \
         else (0, 2, 8, 20, 100)
     sims = scale(10, 20)
     result = once(run_figure7, c2_values=c2_values, hops_values=(1, 2, 3, 4),
-                  sims_per_value=sims, num_nodes=scale(85, 120), seed=7)
+                  sims_per_value=sims, num_nodes=scale(85, 120), seed=7,
+                  runner=bench_runner)
 
     print()
     print(result.format_table())

@@ -10,13 +10,13 @@ from repro.experiments.figure8 import run_figure8
 from conftest import scale
 
 
-def test_figure8(once):
+def test_figure8(once, bench_runner):
     c2_values = (0, 1, 2, 3, 5, 8, 12, 20, 35, 60, 100) if scale(0, 1) \
         else (0, 2, 8, 30, 100)
     sims = scale(6, 20)
     result = once(run_figure8, c2_values=c2_values, hops_values=(1, 2),
                   sims_per_value=sims, num_nodes=scale(300, 1000),
-                  session_size=scale(40, 100), seed=8)
+                  session_size=scale(40, 100), seed=8, runner=bench_runner)
 
     print()
     print(result.format_table())

@@ -6,8 +6,17 @@ and asserts the qualitative claims — who wins, by roughly what factor,
 where the crossovers fall. Absolute timings come from pytest-benchmark;
 run with ``pytest benchmarks/ --benchmark-only``.
 
-Scale knobs: set ``SRM_BENCH_FULL=1`` in the environment to run every
-experiment at the paper's full scale (sizes, 20 sims/point).
+Scale knobs, all read from the environment at use time (never frozen at
+import, so a driver may flip them programmatically between sessions):
+
+* ``SRM_BENCH_FULL=1`` — run every experiment at the paper's full scale
+  (sizes, 20 sims/point).
+* ``SRM_BENCH_JOBS=N`` — fan figure sweeps out to N worker processes via
+  :class:`repro.runner.ExperimentRunner`.
+* ``SRM_BENCH_CACHE=1`` (with optional ``SRM_BENCH_CACHE_DIR=...``) —
+  reuse cached results across benchmark runs. Off by default: a
+  benchmark that hits the cache measures pickle loads, not simulation.
+* ``SRM_BENCH_MANIFEST=path`` — append a JSONL run manifest per sweep.
 """
 
 from __future__ import annotations
@@ -16,12 +25,36 @@ import os
 
 import pytest
 
-FULL = os.environ.get("SRM_BENCH_FULL", "") == "1"
+
+def is_full_scale() -> bool:
+    """Read ``SRM_BENCH_FULL`` now, not at import time."""
+    return os.environ.get("SRM_BENCH_FULL", "") == "1"
 
 
 def scale(reduced: int, full: int) -> int:
     """Pick the reduced or full-scale value for a knob."""
-    return full if FULL else reduced
+    return full if is_full_scale() else reduced
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """Session-scoped view of the SRM_BENCH_FULL switch."""
+    return is_full_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_runner():
+    """One ExperimentRunner per benchmark session, from the env knobs."""
+    from repro.runner import ExperimentRunner, ResultCache
+
+    cache = None
+    if os.environ.get("SRM_BENCH_CACHE", "") == "1":
+        cache = ResultCache(os.environ.get("SRM_BENCH_CACHE_DIR",
+                                           "results/.cache"))
+    return ExperimentRunner(
+        jobs=int(os.environ.get("SRM_BENCH_JOBS", "1")),
+        cache=cache,
+        manifest_path=os.environ.get("SRM_BENCH_MANIFEST") or None)
 
 
 @pytest.fixture

@@ -14,6 +14,8 @@ Layers (bottom up):
 * :mod:`repro.wb` — the whiteboard application built on SRM
 * :mod:`repro.baselines` — sender-ACK / unicast-NACK / N-unicast baselines
 * :mod:`repro.analysis` — Section IV closed forms
+* :mod:`repro.runner` — parallel experiment execution, result cache,
+  run manifests
 * :mod:`repro.experiments` — one driver per figure of the evaluation
 
 Quickstart::

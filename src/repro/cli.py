@@ -4,11 +4,20 @@ Usage::
 
     python -m repro list
     python -m repro figure3 [--sims 20] [--seed 3]
+    python -m repro figure4 --jobs 8 --manifest results/fig4.jsonl
     python -m repro figure13 [--runs 3] [--rounds 60]
     python -m repro robustness [--rounds 5]
     python -m repro congestion
 
 Each command prints the same series its benchmark asserts against.
+
+The figure sweeps execute on :class:`repro.runner.ExperimentRunner`:
+``--jobs N`` fans independent rounds out to N worker processes,
+results land in a content-addressed cache under ``results/.cache`` (so
+an identical re-run is nearly free; disable with ``--no-cache``), and
+``--manifest PATH`` appends a JSONL row per task for observability.
+Parallel and serial runs print byte-identical tables: results are merged
+in task order, never completion order.
 """
 
 from __future__ import annotations
@@ -18,40 +27,49 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 
+def _make_runner(args):
+    """Build the ExperimentRunner a figure command was asked for."""
+    from repro.runner import ExperimentRunner, ResultCache
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return ExperimentRunner(jobs=args.jobs, cache=cache,
+                            manifest_path=args.manifest)
+
+
 def _figure3(args) -> None:
     from repro.experiments.figure3 import run_figure3
-    print(run_figure3(sims_per_size=args.sims, seed=args.seed)
-          .format_table())
+    print(run_figure3(sims_per_size=args.sims, seed=args.seed,
+                      runner=_make_runner(args)).format_table())
 
 
 def _figure4(args) -> None:
     from repro.experiments.figure4 import run_figure4
-    print(run_figure4(sims_per_size=args.sims, seed=args.seed)
-          .format_table())
+    print(run_figure4(sims_per_size=args.sims, seed=args.seed,
+                      runner=_make_runner(args)).format_table())
 
 
 def _figure5(args) -> None:
     from repro.experiments.figure5 import run_figure5
-    print(run_figure5(sims_per_value=args.sims, seed=args.seed)
-          .format_table())
+    print(run_figure5(sims_per_value=args.sims, seed=args.seed,
+                      runner=_make_runner(args)).format_table())
 
 
 def _figure6(args) -> None:
     from repro.experiments.figure6 import run_figure6
-    print(run_figure6(sims_per_value=args.sims, seed=args.seed)
-          .format_table())
+    print(run_figure6(sims_per_value=args.sims, seed=args.seed,
+                      runner=_make_runner(args)).format_table())
 
 
 def _figure7(args) -> None:
     from repro.experiments.figure7 import run_figure7
-    print(run_figure7(sims_per_value=args.sims, seed=args.seed)
-          .format_table())
+    print(run_figure7(sims_per_value=args.sims, seed=args.seed,
+                      runner=_make_runner(args)).format_table())
 
 
 def _figure8(args) -> None:
     from repro.experiments.figure8 import run_figure8
-    print(run_figure8(sims_per_value=args.sims, seed=args.seed)
-          .format_table())
+    print(run_figure8(sims_per_value=args.sims, seed=args.seed,
+                      runner=_make_runner(args)).format_table())
 
 
 def _figure12(args) -> None:
@@ -77,16 +95,18 @@ def _figure13(args) -> None:
 def _figure14(args) -> None:
     from repro.experiments.figure14 import run_figure14
     print(run_figure14(sims_per_size=args.sims, rounds=args.rounds,
-                       seed=args.seed).format_table())
+                       seed=args.seed,
+                       runner=_make_runner(args)).format_table())
 
 
 def _figure15(args) -> None:
     from repro.experiments.figure15 import run_figure15
-    print(run_figure15(sims_per_size=args.sims, seed=args.seed)
-          .format_table())
+    runner = _make_runner(args)
+    print(run_figure15(sims_per_size=args.sims, seed=args.seed,
+                       runner=runner).format_table())
     print()
     print(run_figure15(sims_per_size=args.sims, seed=args.seed,
-                       mode="one-step").format_table())
+                       mode="one-step", runner=runner).format_table())
 
 
 def _robustness(args) -> None:
@@ -115,6 +135,15 @@ COMMANDS: Dict[str, Callable] = {
     "congestion": _congestion,
 }
 
+#: Commands whose sweeps run on the ExperimentRunner and therefore take
+#: the --jobs/--no-cache/--cache-dir/--manifest knobs. (figure12/13 run
+#: long adversarial-scenario histories, robustness/congestion their own
+#: drivers; they stay serial.)
+RUNNER_COMMANDS = frozenset({
+    "figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
+    "figure14", "figure15",
+})
+
 DEFAULTS = {
     "figure12": {"runs": 3, "rounds": 60},
     "figure13": {"runs": 3, "rounds": 60},
@@ -124,6 +153,8 @@ DEFAULTS = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.runner import default_cache_dir
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the SRM paper's experiments.")
@@ -140,6 +171,17 @@ def build_parser() -> argparse.ArgumentParser:
                          default=defaults.get("runs", 10))
         sub.add_argument("--rounds", type=int,
                          default=defaults.get("rounds", 100))
+        if name in RUNNER_COMMANDS:
+            sub.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for the sweep "
+                                  "(1 = in-process serial)")
+            sub.add_argument("--no-cache", action="store_true",
+                             help="skip the on-disk result cache")
+            sub.add_argument("--cache-dir", default=default_cache_dir(),
+                             help="result cache location "
+                                  "(default: %(default)s)")
+            sub.add_argument("--manifest", default=None, metavar="PATH",
+                             help="append a JSONL run manifest here")
     return parser
 
 

@@ -12,17 +12,37 @@ number of duplicates over a range of scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import (
     LossRecoverySimulation,
+    RoundOutcome,
+    Scenario,
     SeriesPoint,
     format_quartile_table,
 )
 from repro.experiments.figure4 import DEFAULT_SIZES, figure4_scenarios
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner import ExperimentRunner
+
 DEFAULT_ROUNDS = 40
+
+
+def figure14_rounds(scenario: Scenario, config: SrmConfig, rounds: int,
+                    seed: int) -> RoundOutcome:
+    """One task: run a scenario adaptively to ``rounds``, report the last.
+
+    Module-level (not a closure) so the runner can ship it to a worker
+    process by reference.
+    """
+    simulation = LossRecoverySimulation(scenario, config=config, seed=seed)
+    outcome = None
+    for _ in range(rounds):
+        outcome = simulation.run_round()
+    assert outcome is not None
+    return outcome
 
 
 @dataclass
@@ -49,20 +69,24 @@ class Figure14Result:
 def run_figure14(sizes: Sequence[int] = DEFAULT_SIZES,
                  sims_per_size: int = 20, rounds: int = DEFAULT_ROUNDS,
                  seed: int = 4,
-                 config: Optional[SrmConfig] = None) -> Figure14Result:
+                 config: Optional[SrmConfig] = None,
+                 runner: Optional["ExperimentRunner"] = None
+                 ) -> Figure14Result:
     """Re-runs the exact Fig. 4 scenario sweep, adaptively, to round 40."""
+    from repro.runner import ExperimentRunner
+
     base_config = config if config is not None else SrmConfig(adaptive=True)
     if not base_config.adaptive:
         raise ValueError("figure 14 requires an adaptive config")
+    runner = runner if runner is not None else ExperimentRunner()
     scenarios = figure4_scenarios(sizes, sims_per_size, seed)
+    outcomes = runner.map(
+        "figure14", figure14_rounds,
+        [dict(scenario=scenario, config=base_config, rounds=rounds,
+              seed=(seed * 524287 + index))
+         for index, scenario in enumerate(scenarios)])
     points = {size: SeriesPoint(x=size) for size in sizes}
-    for index, scenario in enumerate(scenarios):
-        simulation = LossRecoverySimulation(scenario, config=base_config,
-                                            seed=(seed * 524287 + index))
-        outcome = None
-        for _ in range(rounds):
-            outcome = simulation.run_round()
-        assert outcome is not None
+    for scenario, outcome in zip(scenarios, outcomes):
         point = points[scenario.session_size]
         point.add("requests", outcome.requests)
         point.add("repairs", outcome.repairs)

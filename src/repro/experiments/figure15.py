@@ -17,14 +17,19 @@ size; the one-step variant is run alongside to show its inefficiency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core.local import ideal_scoped_recovery, loss_neighborhood
 from repro.experiments.common import SeriesPoint, candidate_drop_edges, \
     format_quartile_table
 from repro.net.network import Network
+from repro.net.packet import NodeId
 from repro.sim.rng import RandomSource
 from repro.topology.btree import balanced_tree
+from repro.topology.spec import TopologySpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner import ExperimentRunner
 
 DEFAULT_SIZES = (50, 100, 150, 200, 250)
 NUM_NODES = 1000
@@ -68,28 +73,51 @@ def _draw_scenario(network: Network, rng: RandomSource,
             return members, source, (drop_parent, drop_child)
 
 
+def scoped_recovery_task(spec: TopologySpec, source: NodeId,
+                         drop_edge: Tuple[NodeId, NodeId],
+                         members: List[NodeId], mode: str):
+    """One task: rebuild the network from its spec and evaluate recovery.
+
+    The shared :class:`Network` used for scenario *drawing* is not
+    picklable (and must not be shared across workers anyway), so each
+    task rebuilds from the pure-data spec.
+    """
+    network = spec.build()
+    return ideal_scoped_recovery(network, source, drop_edge[0],
+                                 drop_edge[1], members, mode=mode)
+
+
 def run_figure15(sizes: Sequence[int] = DEFAULT_SIZES,
                  sims_per_size: int = 20, num_nodes: int = NUM_NODES,
                  degree: int = DEGREE, mode: str = "two-step",
-                 seed: int = 15) -> Figure15Result:
+                 seed: int = 15,
+                 runner: Optional["ExperimentRunner"] = None
+                 ) -> Figure15Result:
+    from repro.runner import ExperimentRunner
+
     spec = balanced_tree(num_nodes, degree)
     network = spec.build()
     master = RandomSource(seed)
-    points = []
+    runner = runner if runner is not None else ExperimentRunner()
+    sweep = []  # (size, task kwargs), in sweep order
     for size in sizes:
-        point = SeriesPoint(x=size)
         for sim_index in range(sims_per_size):
             rng = master.fork(f"fig15-{mode}-{size}-{sim_index}")
             members, source, drop_edge = _draw_scenario(
                 network, rng, size, num_nodes)
-            outcome = ideal_scoped_recovery(
-                network, source, drop_edge[0], drop_edge[1], members,
-                mode=mode)
-            assert outcome.covered, "scoped repair must cover the loss"
-            point.add("fraction", outcome.fraction_of_session)
-            point.add("ratio", outcome.repair_to_loss_ratio)
-        points.append(point)
-    return Figure15Result(points=points, mode=mode)
+            sweep.append((size, dict(spec=spec, source=source,
+                                     drop_edge=drop_edge, members=members,
+                                     mode=mode)))
+    outcomes = runner.map("figure15", scoped_recovery_task,
+                          [kwargs for _, kwargs in sweep])
+    points = {size: SeriesPoint(x=size) for size in sizes}
+    for (size, _), outcome in zip(sweep, outcomes):
+        assert outcome.covered, "scoped repair must cover the loss"
+        point = points[size]
+        point.add("fraction", outcome.fraction_of_session)
+        point.add("ratio", outcome.repair_to_loss_ratio)
+    return Figure15Result(points=[points[size] for size in sizes],
+                          mode=mode)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -14,7 +14,10 @@ unicast recovery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner import ExperimentRunner
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import (
@@ -49,25 +52,38 @@ class Figure3Result:
 
 def run_figure3(sizes: Sequence[int] = DEFAULT_SIZES,
                 sims_per_size: int = 20, seed: int = 3,
-                config: Optional[SrmConfig] = None) -> Figure3Result:
-    """Twenty sims per session size; a fresh random tree per sim."""
+                config: Optional[SrmConfig] = None,
+                runner: Optional["ExperimentRunner"] = None) -> Figure3Result:
+    """Twenty sims per session size; a fresh random tree per sim.
+
+    Scenario generation (topology draws, membership, congested link)
+    stays serial in this process — forking the master RNG is order
+    dependent — while the independent rounds execute on the runner.
+    """
+    from repro.runner import ExperimentRunner
+
     master = RandomSource(seed)
     base_config = config if config is not None else SrmConfig()
-    points = []
+    runner = runner if runner is not None else ExperimentRunner()
+    sweep = []  # (size, task kwargs), in sweep order
     for size in sizes:
-        point = SeriesPoint(x=size)
         for sim_index in range(sims_per_size):
             rng = master.fork(f"fig3-{size}-{sim_index}")
             spec = random_labeled_tree(size, rng)
             scenario = choose_scenario(spec, session_size=size, rng=rng)
-            outcome = run_single_round(
-                scenario, config=base_config,
-                seed=hash((seed, size, sim_index)) & 0xFFFF)
-            point.add("requests", outcome.requests)
-            point.add("repairs", outcome.repairs)
-            point.add("delay_ratio", outcome.last_member_ratio)
-        points.append(point)
-    return Figure3Result(points=points, sims_per_size=sims_per_size)
+            sweep.append((size, dict(
+                scenario=scenario, config=base_config,
+                seed=hash((seed, size, sim_index)) & 0xFFFF)))
+    outcomes = runner.map("figure3", run_single_round,
+                          [kwargs for _, kwargs in sweep])
+    points = {size: SeriesPoint(x=size) for size in sizes}
+    for (size, _), outcome in zip(sweep, outcomes):
+        point = points[size]
+        point.add("requests", outcome.requests)
+        point.add("repairs", outcome.repairs)
+        point.add("delay_ratio", outcome.last_member_ratio)
+    return Figure3Result(points=[points[size] for size in sizes],
+                         sims_per_size=sims_per_size)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -10,7 +10,10 @@ somewhat high — the motivation for the adaptive algorithm (Fig. 13/14).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner import ExperimentRunner
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import (
@@ -65,13 +68,20 @@ class Figure4Result:
 
 def run_figure4(sizes: Sequence[int] = DEFAULT_SIZES,
                 sims_per_size: int = 20, seed: int = 4,
-                config: Optional[SrmConfig] = None) -> Figure4Result:
+                config: Optional[SrmConfig] = None,
+                runner: Optional["ExperimentRunner"] = None) -> Figure4Result:
+    from repro.runner import ExperimentRunner
+
     base_config = config if config is not None else SrmConfig()
+    runner = runner if runner is not None else ExperimentRunner()
     scenarios = figure4_scenarios(sizes, sims_per_size, seed)
+    outcomes = runner.map(
+        "figure4", run_single_round,
+        [dict(scenario=scenario, config=base_config,
+              seed=(seed * 7919 + index))
+         for index, scenario in enumerate(scenarios)])
     points = {size: SeriesPoint(x=size) for size in sizes}
-    for index, scenario in enumerate(scenarios):
-        outcome = run_single_round(scenario, config=base_config,
-                                   seed=(seed * 7919 + index))
+    for scenario, outcome in zip(scenarios, outcomes):
         point = points[scenario.session_size]
         point.add("requests", outcome.requests)
         point.add("repairs", outcome.repairs)

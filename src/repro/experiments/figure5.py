@@ -12,7 +12,10 @@ closed-form analysis of Section IV-B and simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner import ExperimentRunner
 
 from repro.analysis.star import (
     expected_first_request_delay_ratio,
@@ -67,15 +70,21 @@ def star_scenario(group_size: int = GROUP_SIZE) -> Scenario:
 
 def run_figure5(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
                 sims_per_value: int = 20, group_size: int = GROUP_SIZE,
-                c1: float = 2.0, seed: int = 5) -> Figure5Result:
+                c1: float = 2.0, seed: int = 5,
+                runner: Optional["ExperimentRunner"] = None) -> Figure5Result:
+    from repro.runner import ExperimentRunner
+
     scenario = star_scenario(group_size)
+    runner = runner if runner is not None else ExperimentRunner()
+    outcome_lists = runner.map(
+        "figure5", run_rounds,
+        [dict(scenario=scenario, config=SrmConfig(c1=c1, c2=float(c2)),
+              rounds=sims_per_value, seed=(seed * 104729 + int(c2) * 613))
+         for c2 in c2_values])
     points = []
-    for c2 in c2_values:
-        config = SrmConfig(c1=c1, c2=float(c2))
+    for c2, outcomes in zip(c2_values, outcome_lists):
         point = SeriesPoint(x=c2)
-        for outcome in run_rounds(scenario, config=config,
-                                  rounds=sims_per_value,
-                                  seed=(seed * 104729 + int(c2) * 613)):
+        for outcome in outcomes:
             point.add("requests", outcome.requests)
             point.add("delay", outcome.closest_request_ratio)
         requests = point.series("requests")

@@ -9,7 +9,10 @@ series place the failed edge 1, 2, 5 and 10 hops from the source.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner import ExperimentRunner
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import Scenario, SeriesPoint, run_rounds
@@ -55,21 +58,28 @@ def chain_scenario(failure_hops: int,
 def run_figure6(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
                 failure_hops: Sequence[int] = DEFAULT_FAILURE_HOPS,
                 sims_per_value: int = 20, chain_length: int = CHAIN_LENGTH,
-                c1: float = 2.0, seed: int = 6) -> Figure6Result:
-    series: Dict[int, List[SeriesPoint]] = {}
+                c1: float = 2.0, seed: int = 6,
+                runner: Optional["ExperimentRunner"] = None) -> Figure6Result:
+    from repro.runner import ExperimentRunner
+
+    runner = runner if runner is not None else ExperimentRunner()
+    sweep = []  # (hops, c2, task kwargs) across both loops
     for hops in failure_hops:
         scenario = chain_scenario(hops, chain_length)
-        points = []
         for c2 in c2_values:
-            config = SrmConfig(c1=c1, c2=float(c2))
-            point = SeriesPoint(x=c2)
-            for outcome in run_rounds(
-                    scenario, config=config, rounds=sims_per_value,
-                    seed=(seed * 65537 + hops * 9973 + int(c2) * 613)):
-                point.add("requests", outcome.requests)
-                point.add("delay", outcome.closest_request_ratio)
-            points.append(point)
-        series[hops] = points
+            sweep.append((hops, c2, dict(
+                scenario=scenario, config=SrmConfig(c1=c1, c2=float(c2)),
+                rounds=sims_per_value,
+                seed=(seed * 65537 + hops * 9973 + int(c2) * 613))))
+    outcome_lists = runner.map("figure6", run_rounds,
+                               [kwargs for _, _, kwargs in sweep])
+    series: Dict[int, List[SeriesPoint]] = {hops: [] for hops in failure_hops}
+    for (hops, c2, _), outcomes in zip(sweep, outcome_lists):
+        point = SeriesPoint(x=c2)
+        for outcome in outcomes:
+            point.add("requests", outcome.requests)
+            point.add("delay", outcome.closest_request_ratio)
+        series[hops].append(point)
     return Figure6Result(chain_length=chain_length, c1=c1, series=series)
 
 

@@ -8,7 +8,10 @@ duplicates at a moderate cost in delay.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner import ExperimentRunner
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import Scenario, SeriesPoint, run_rounds
@@ -27,27 +30,34 @@ def run_figure8(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
                 hops_values: Sequence[int] = DEFAULT_HOPS,
                 sims_per_value: int = 20, num_nodes: int = NUM_NODES,
                 session_size: int = SESSION_SIZE, c1: float = 2.0,
-                seed: int = 8) -> Figure7Result:
+                seed: int = 8,
+                runner: Optional["ExperimentRunner"] = None) -> Figure7Result:
+    from repro.runner import ExperimentRunner
+
     spec = balanced_tree(num_nodes, DEGREE)
     rng = RandomSource(seed)
     members = sorted(rng.sample(range(num_nodes), session_size))
     source = rng.choice(members)
-    series = {}
+    runner = runner if runner is not None else ExperimentRunner()
+    sweep = []  # (hops, c2, task kwargs) across both loops
     for hops in hops_values:
         drop_edge = drop_edge_at_hops(spec, source, hops, members)
         scenario = Scenario(spec=spec, members=members, source=source,
                             drop_edge=drop_edge)
-        points = []
         for c2 in c2_values:
-            config = SrmConfig(c1=c1, c2=float(c2))
-            point = SeriesPoint(x=c2)
-            for outcome in run_rounds(
-                    scenario, config=config, rounds=sims_per_value,
-                    seed=(seed * 131071 + hops * 7919 + int(c2) * 613)):
-                point.add("requests", outcome.requests)
-                point.add("delay", outcome.closest_request_ratio)
-            points.append(point)
-        series[hops] = points
+            sweep.append((hops, c2, dict(
+                scenario=scenario, config=SrmConfig(c1=c1, c2=float(c2)),
+                rounds=sims_per_value,
+                seed=(seed * 131071 + hops * 7919 + int(c2) * 613))))
+    outcome_lists = runner.map("figure8", run_rounds,
+                               [kwargs for _, _, kwargs in sweep])
+    series = {hops: [] for hops in hops_values}
+    for (hops, c2, _), outcomes in zip(sweep, outcome_lists):
+        point = SeriesPoint(x=c2)
+        for outcome in outcomes:
+            point.add("requests", outcome.requests)
+            point.add("delay", outcome.closest_request_ratio)
+        series[hops].append(point)
     result = Figure7Result(num_nodes=num_nodes, c1=c1, series=series,
                            label="Figure 8 (sparse session)")
     return result

@@ -1,0 +1,48 @@
+"""repro.runner: parallel experiment execution with caching and manifests.
+
+The orchestration substrate every figure sweep runs on:
+
+* :mod:`repro.runner.task` — one sweep point as pure, picklable data,
+  with a stable content fingerprint
+* :mod:`repro.runner.cache` — content-addressed on-disk result cache
+* :mod:`repro.runner.pool` — crash-tolerant worker pool with per-task
+  deadlines and retry-with-backoff
+* :mod:`repro.runner.manifest` — JSONL run manifests (one row per task)
+* :mod:`repro.runner.executor` — :class:`ExperimentRunner`, the facade
+  the experiments and the CLI talk to
+
+Quickstart::
+
+    from repro.runner import ExperimentRunner, ResultCache
+    from repro.experiments.figure4 import run_figure4
+
+    runner = ExperimentRunner(jobs=8, cache=ResultCache())
+    result = run_figure4(runner=runner)      # parallel + cached
+    print(result.format_table())             # identical to runner-less
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, \
+    default_cache_dir
+from repro.runner.executor import ExperimentRunner, RunnerError, \
+    TaskReport, code_version_salt
+from repro.runner.manifest import RunManifest, read_manifest
+from repro.runner.pool import Execution, TaskFailed, run_pool
+from repro.runner.task import Task, canonical, function_ref
+
+__all__ = [
+    "Task",
+    "canonical",
+    "function_ref",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
+    "default_cache_dir",
+    "ExperimentRunner",
+    "RunnerError",
+    "TaskReport",
+    "code_version_salt",
+    "RunManifest",
+    "read_manifest",
+    "Execution",
+    "TaskFailed",
+    "run_pool",
+]

@@ -1,0 +1,96 @@
+"""Content-addressed on-disk cache for task results.
+
+Results live under ``<root>/<first two hex chars>/<fingerprint>.pkl``;
+the fingerprint (see :meth:`repro.runner.task.Task.fingerprint`) already
+folds in the code-version salt, so the cache itself is dumb storage:
+``get`` and ``put`` by key, atomic writes, corrupt entries dropped.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Tuple
+
+#: Default location, relative to the working directory (the repo root for
+#: ``python -m repro`` invocations). Override with ``SRM_CACHE_DIR``.
+DEFAULT_CACHE_DIR = "results/.cache"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("SRM_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Pickle-per-entry store addressed by content fingerprint."""
+
+    def __init__(self, root: str | os.PathLike = None) -> None:
+        self.root = Path(root if root is not None else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        An unreadable entry (truncated write from a killed process, or a
+        pickle referencing a class that no longer unpickles) counts as a
+        miss and is deleted so the slot heals on the next ``put``.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist ``value``: tmp file + rename, never partial."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,264 @@
+"""The experiment-execution engine: cache, pool, manifest, progress.
+
+:class:`ExperimentRunner` is the one object the experiment layer talks
+to. Given a list of :class:`~repro.runner.task.Task` sweep points it
+
+* resolves cache hits from the :class:`~repro.runner.cache.ResultCache`,
+* executes the misses — in-process when ``jobs == 1`` (bit-for-bit the
+  historical serial behavior), on a crash-tolerant worker pool otherwise,
+* retries failures with exponential backoff and enforces per-task
+  timeouts (pool mode),
+* appends a JSONL :class:`~repro.runner.manifest.RunManifest` row per
+  task, and
+* emits live progress through a :class:`repro.sim.trace.Trace`, so any
+  ``Trace`` listener (a tqdm-style printer, a test harness) can watch
+  the run without polling.
+
+Results are always returned in task order, never completion order:
+``jobs=4`` reproduces ``jobs=1`` exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.manifest import RunManifest
+from repro.runner.pool import TaskFailed, run_pool
+from repro.runner.task import Task
+from repro.sim.trace import Trace
+
+
+def code_version_salt() -> str:
+    """The cache salt: the package version, overridable via env.
+
+    Keyed to the released version rather than a hash of the source tree,
+    so an unrelated edit (docs, tests, an experiment that was not run)
+    keeps the cache warm; bump ``SRM_CACHE_SALT`` (or the package
+    version) when simulation semantics change.
+    """
+    from repro import __version__
+
+    return os.environ.get("SRM_CACHE_SALT", f"repro-{__version__}")
+
+
+class RunnerError(RuntimeError):
+    """A task failed permanently (retry budget exhausted)."""
+
+
+@dataclass
+class TaskReport:
+    """Everything the manifest records about one task."""
+
+    task_id: str
+    experiment: str
+    index: int
+    fingerprint: str
+    status: str            # "ok" | "failed" | "timeout"
+    attempts: int
+    duration: float
+    cache: str             # "hit" | "miss" | "off"
+    pid: Optional[int]
+
+
+class ExperimentRunner:
+    """Executes task sweeps; the substrate every figure runs on.
+
+    ``jobs=1`` (the default) runs tasks in-process with no worker
+    machinery at all — library callers that never touch the runner knobs
+    get exactly the old serial behavior. ``jobs>1`` fans tasks out to a
+    worker pool; ``task_timeout`` only applies there (a task cannot
+    preempt itself in-process).
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 manifest_path: Optional[str] = None,
+                 retries: int = 2,
+                 task_timeout: Optional[float] = None,
+                 backoff: float = 0.5,
+                 trace: Optional[Trace] = None,
+                 salt: Optional[str] = None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.manifest_path = manifest_path
+        self.retries = max(0, int(retries))
+        self.task_timeout = task_timeout
+        self.backoff = backoff
+        self.trace = trace if trace is not None else Trace()
+        self.salt = salt if salt is not None else code_version_salt()
+        #: Reports accumulate across ``run()`` invocations, newest last.
+        self.reports: List[TaskReport] = []
+
+    # ------------------------------------------------------------------
+
+    def map(self, experiment: str, fn: Callable[..., Any],
+            kwargs_list: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Sweep ``fn`` over per-point kwargs; results in sweep order."""
+        tasks = [Task(experiment=experiment, index=index, fn=fn,
+                      kwargs=dict(kwargs))
+                 for index, kwargs in enumerate(kwargs_list)]
+        return self.run(tasks)
+
+    def run(self, tasks: Sequence[Task]) -> List[Any]:
+        """Execute every task; return their results in task order."""
+        started = time.monotonic()
+        manifest = RunManifest(self.manifest_path) \
+            if self.manifest_path else None
+        experiments = sorted({task.experiment for task in tasks})
+        self.trace.record(0.0, "runner", "run_start",
+                          experiments=experiments, tasks=len(tasks),
+                          jobs=self.jobs)
+        if manifest:
+            manifest.header(experiments=experiments, tasks=len(tasks),
+                            jobs=self.jobs, retries=self.retries,
+                            task_timeout=self.task_timeout, salt=self.salt,
+                            cache="on" if self.cache is not None else "off")
+        fingerprints = [task.fingerprint(self.salt) for task in tasks]
+        results: List[Any] = [None] * len(tasks)
+        done = [False] * len(tasks)
+        run_reports: List[Optional[TaskReport]] = [None] * len(tasks)
+
+        def finish(position: int, report: TaskReport) -> None:
+            run_reports[position] = report
+            self.reports.append(report)
+            if manifest:
+                manifest.task(
+                    task=report.task_id, experiment=report.experiment,
+                    index=report.index, fingerprint=report.fingerprint,
+                    status=report.status, attempts=report.attempts,
+                    duration=round(report.duration, 6), cache=report.cache,
+                    pid=report.pid)
+            self.trace.record(time.monotonic() - started, "runner",
+                              "task_done", task=report.task_id,
+                              status=report.status, cache=report.cache,
+                              attempts=report.attempts)
+
+        try:
+            misses = self._resolve_cache(tasks, fingerprints, results, done,
+                                         finish)
+            if misses:
+                if self.jobs == 1:
+                    self._run_serial(tasks, fingerprints, misses, results,
+                                     finish)
+                else:
+                    self._run_pool(tasks, fingerprints, misses, results,
+                                   finish)
+        except TaskFailed as failure:
+            task = tasks[failure.index]
+            finish(failure.index, TaskReport(
+                task_id=task.task_id, experiment=task.experiment,
+                index=task.index, fingerprint=fingerprints[failure.index],
+                status="timeout" if "timed out" in failure.reason
+                else "failed",
+                attempts=failure.attempts, duration=0.0,
+                cache="miss" if self.cache is not None else "off", pid=None))
+            self._finalize(manifest, run_reports, started, failed=True)
+            raise RunnerError(str(failure)) from failure
+        except Exception:
+            self._finalize(manifest, run_reports, started, failed=True)
+            raise
+        self._finalize(manifest, run_reports, started, failed=False)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _resolve_cache(self, tasks, fingerprints, results, done,
+                       finish) -> List[int]:
+        """Fill cache hits in place; return the indices still to run."""
+        misses: List[int] = []
+        for position, task in enumerate(tasks):
+            if self.cache is None:
+                misses.append(position)
+                continue
+            hit, value = self.cache.get(fingerprints[position])
+            if hit:
+                results[position] = value
+                done[position] = True
+                finish(position, TaskReport(
+                    task_id=task.task_id, experiment=task.experiment,
+                    index=task.index, fingerprint=fingerprints[position],
+                    status="ok", attempts=0, duration=0.0, cache="hit",
+                    pid=None))
+            else:
+                misses.append(position)
+        return misses
+
+    def _run_serial(self, tasks, fingerprints, misses, results,
+                    finish) -> None:
+        for position in misses:
+            task = tasks[position]
+            attempt = 1
+            while True:
+                begun = time.monotonic()
+                try:
+                    value = task.execute()
+                except Exception as exc:  # noqa: BLE001 - retried/reported
+                    reason = f"{type(exc).__name__}: {exc}"
+                    if attempt >= self.retries + 1:
+                        raise TaskFailed(position, attempt, reason) from exc
+                    self.trace.record(time.monotonic(), "runner",
+                                      "task_retry", task=task.task_id,
+                                      attempts=attempt, reason=reason)
+                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+                    attempt += 1
+                    continue
+                duration = time.monotonic() - begun
+                results[position] = value
+                if self.cache is not None:
+                    self.cache.put(fingerprints[position], value)
+                finish(position, TaskReport(
+                    task_id=task.task_id, experiment=task.experiment,
+                    index=task.index, fingerprint=fingerprints[position],
+                    status="ok", attempts=attempt, duration=duration,
+                    cache="miss" if self.cache is not None else "off", pid=os.getpid()))
+                break
+
+    def _run_pool(self, tasks, fingerprints, misses, results,
+                  finish) -> None:
+        # Completions are reported (manifest row, cache write, trace
+        # record) from the event callback as each task lands, so a
+        # listener sees live progress rather than one burst at the end.
+        def on_event(kind: str, **detail: Any) -> None:
+            position = detail.pop("index")
+            task = tasks[position]
+            if kind in ("retry", "start"):
+                self.trace.record(time.monotonic(), "runner",
+                                  f"task_{kind}", task=task.task_id,
+                                  **detail)
+            elif kind == "done":
+                value = detail.pop("result")
+                results[position] = value
+                if self.cache is not None:
+                    self.cache.put(fingerprints[position], value)
+                finish(position, TaskReport(
+                    task_id=task.task_id, experiment=task.experiment,
+                    index=task.index, fingerprint=fingerprints[position],
+                    status="ok", attempts=detail["attempts"],
+                    duration=detail["duration"],
+                    cache="miss" if self.cache is not None else "off",
+                    pid=detail["pid"]))
+
+        items = [(position, tasks[position].fn, tasks[position].kwargs)
+                 for position in misses]
+        run_pool(items, jobs=self.jobs, timeout=self.task_timeout,
+                 retries=self.retries, backoff=self.backoff,
+                 on_event=on_event)
+
+    def _finalize(self, manifest, run_reports, started,
+                  failed: bool) -> None:
+        reports = [report for report in run_reports if report is not None]
+        hits = sum(1 for report in reports if report.cache == "hit")
+        wall = time.monotonic() - started
+        self.trace.record(wall, "runner", "run_end",
+                          completed=len(reports), cache_hits=hits,
+                          failed=failed)
+        if manifest:
+            manifest.summary(completed=len(reports), cache_hits=hits,
+                             cache_misses=sum(1 for report in reports
+                                              if report.cache == "miss"),
+                             failed=failed, wall_seconds=round(wall, 6))
+            manifest.close()

@@ -1,0 +1,75 @@
+"""JSONL run manifests: one observable row per task, per invocation.
+
+Every :meth:`repro.runner.executor.ExperimentRunner.run` invocation with
+a manifest path appends a ``header`` row, one ``task`` row per task as it
+completes (cache hits included), and a ``summary`` row with the totals.
+Rows are self-describing dicts with a ``type`` field, so a manifest file
+can accumulate several invocations and still be parsed unambiguously.
+
+Task rows carry: ``task`` (the ``experiment/index`` id), ``experiment``,
+``index``, ``fingerprint``, ``status`` (``ok`` / ``failed`` /
+``timeout``), ``attempts``, ``duration`` (seconds), ``cache`` (``hit`` /
+``miss`` / ``off``) and ``pid`` of the worker that produced the result
+(None for cache hits).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+
+class RunManifest:
+    """Append-only JSONL writer, flushed per row so progress is live."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _write(self, row: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def header(self, **info: Any) -> None:
+        row = {"type": "header", "time": time.time()}
+        row.update(info)
+        self._write(row)
+
+    def task(self, **info: Any) -> None:
+        row = {"type": "task"}
+        row.update(info)
+        self._write(row)
+
+    def summary(self, **info: Any) -> None:
+        row = {"type": "summary"}
+        row.update(info)
+        self._write(row)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunManifest":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_manifest(path: str | os.PathLike,
+                  row_type: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Parse a manifest back into dict rows, optionally one type only."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row_type is None or row.get("type") == row_type:
+                rows.append(row)
+    return rows

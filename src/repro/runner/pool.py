@@ -1,0 +1,237 @@
+"""A crash-tolerant worker-process pool with per-task deadlines.
+
+``multiprocessing.Pool`` cannot enforce a per-task timeout (``.get``
+timeouts leave the worker wedged on the task forever) and a worker that
+dies mid-task hangs the whole map. This pool keeps one duplex pipe per
+worker, so the parent always knows *which* task a dead or overdue worker
+was holding: it terminates the process, respawns a fresh one, and
+requeues the task with exponential backoff until its retry budget is
+spent. Results are reported through an event callback as they arrive;
+the caller reassembles them in task order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Upper bound on one poll of the worker pipes; keeps deadline checks
+#: responsive even when no worker finishes for a while.
+_POLL_SECONDS = 0.25
+
+
+class TaskFailed(RuntimeError):
+    """A task exhausted its retry budget."""
+
+    def __init__(self, index: int, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"task {index} failed after {attempts} attempt(s): {reason}")
+        self.index = index
+        self.attempts = attempts
+        self.reason = reason
+
+
+@dataclass
+class Execution:
+    """How one task's successful run went."""
+
+    result: Any
+    attempts: int
+    duration: float
+    pid: Optional[int]
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive ``(index, fn, kwargs)``, send back the result.
+
+    Runs until the parent sends ``None`` or closes the pipe. Exceptions
+    are caught and reported as data; only a hard crash (``os._exit``,
+    signal, interpreter abort) leaves the pipe dangling, which the
+    parent observes as EOF and treats as a retryable worker death.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if message is None:
+            return
+        index, fn, kwargs = message
+        try:
+            result = fn(**kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported, not hidden
+            payload = (index, "error", None,
+                       f"{type(exc).__name__}: {exc}")
+        else:
+            payload = (index, "ok", result, None)
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """One live worker process plus the parent's view of its state."""
+
+    def __init__(self, context) -> None:
+        parent_conn, child_conn = multiprocessing.Pipe()
+        self.conn = parent_conn
+        self.process = context.Process(target=_worker_main,
+                                       args=(child_conn,), daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.index: Optional[int] = None
+        self.attempt = 0
+        self.started = 0.0
+        self.deadline: Optional[float] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.index is None
+
+    def assign(self, index: int, attempt: int, fn: Callable,
+               kwargs: Dict[str, Any], timeout: Optional[float]) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.started = time.monotonic()
+        self.deadline = None if timeout is None else self.started + timeout
+        self.conn.send((index, fn, kwargs))
+
+    def release(self) -> None:
+        self.index = None
+        self.deadline = None
+
+    def kill(self) -> None:
+        try:
+            self.process.terminate()
+        except Exception:
+            pass
+        self.process.join(timeout=5)
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+    def stop(self) -> None:
+        """Graceful shutdown; falls back to terminate."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except Exception:
+                pass
+
+
+def run_pool(items: List[Tuple[int, Callable, Dict[str, Any]]],
+             jobs: int,
+             timeout: Optional[float] = None,
+             retries: int = 0,
+             backoff: float = 0.5,
+             on_event: Optional[Callable[..., None]] = None,
+             ) -> Dict[int, Execution]:
+    """Execute ``(index, fn, kwargs)`` items on ``jobs`` worker processes.
+
+    Returns ``{index: Execution}`` for every item. ``on_event(kind,
+    **detail)`` fires with kinds ``start``, ``done``, ``retry`` and
+    ``failed`` as the run progresses. Raises :class:`TaskFailed` as soon
+    as any task exhausts ``retries`` (attempts = retries + 1).
+    """
+    if not items:
+        return {}
+    notify = on_event if on_event is not None else (lambda kind, **kw: None)
+    by_index = {index: (fn, kwargs) for index, fn, kwargs in items}
+    context = multiprocessing.get_context()
+    #: (ready_time, index, attempt) — a retry waits out its backoff here.
+    pending: List[Tuple[float, int, int]] = \
+        [(0.0, index, 1) for index, _, _ in items]
+    results: Dict[int, Execution] = {}
+    workers = [_Worker(context) for _ in range(min(jobs, len(items)))]
+
+    def fail_or_requeue(index: int, attempt: int, reason: str,
+                        cause: str) -> None:
+        if attempt >= retries + 1:
+            notify("failed", index=index, attempts=attempt, reason=reason,
+                   cause=cause)
+            raise TaskFailed(index, attempt, reason)
+        delay = backoff * (2 ** (attempt - 1))
+        pending.append((time.monotonic() + delay, index, attempt + 1))
+        notify("retry", index=index, attempts=attempt, reason=reason,
+               cause=cause, delay=delay)
+
+    try:
+        while pending or any(not worker.idle for worker in workers):
+            now = time.monotonic()
+            # Hand every ready pending task to an idle worker.
+            ready = sorted(entry for entry in pending if entry[0] <= now)
+            for worker in workers:
+                if not ready:
+                    break
+                if worker.idle:
+                    entry = ready.pop(0)
+                    pending.remove(entry)
+                    _, index, attempt = entry
+                    fn, kwargs = by_index[index]
+                    worker.assign(index, attempt, fn, kwargs, timeout)
+                    notify("start", index=index, attempts=attempt,
+                           pid=worker.process.pid)
+
+            busy = [worker for worker in workers if not worker.idle]
+            if not busy:
+                # Nothing running: sleep until the earliest backoff ends.
+                wake = min(entry[0] for entry in pending)
+                time.sleep(min(max(wake - time.monotonic(), 0.0),
+                               _POLL_SECONDS))
+                continue
+
+            readable = _connection_wait([worker.conn for worker in busy],
+                                        timeout=_POLL_SECONDS)
+            for conn in readable:
+                worker = next(w for w in busy if w.conn is conn)
+                index, attempt = worker.index, worker.attempt
+                duration = time.monotonic() - worker.started
+                try:
+                    _, status, result, error = conn.recv()
+                except (EOFError, OSError):
+                    # Hard crash mid-task: replace the worker, retry.
+                    pid = worker.process.pid
+                    worker.kill()
+                    workers[workers.index(worker)] = _Worker(context)
+                    fail_or_requeue(index, attempt,
+                                    f"worker pid {pid} died", "crash")
+                    continue
+                worker.release()
+                if status == "ok":
+                    results[index] = Execution(
+                        result=result, attempts=attempt, duration=duration,
+                        pid=worker.process.pid)
+                    notify("done", index=index, attempts=attempt,
+                           duration=duration, pid=worker.process.pid,
+                           result=result)
+                else:
+                    fail_or_requeue(index, attempt, error, "error")
+
+            # Enforce deadlines on whoever is still running.
+            now = time.monotonic()
+            for position, worker in enumerate(workers):
+                if worker.idle or worker.deadline is None or \
+                        worker.deadline > now:
+                    continue
+                index, attempt = worker.index, worker.attempt
+                elapsed = now - worker.started
+                worker.kill()
+                workers[position] = _Worker(context)
+                fail_or_requeue(index, attempt,
+                                f"timed out after {elapsed:.2f}s", "timeout")
+    finally:
+        for worker in workers:
+            worker.stop()
+    return results

@@ -40,12 +40,21 @@ class Trace:
             return
         row = TraceRecord(time=time, node=node, kind=kind, detail=detail)
         self.records.append(row)
-        for listener in self._listeners:
+        # Snapshot: a listener may subscribe/unsubscribe from inside its
+        # callback without perturbing this delivery round.
+        for listener in tuple(self._listeners):
             listener(row)
 
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Invoke ``listener`` on every future record (live monitoring)."""
         self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Stop invoking ``listener``; unknown listeners are a no-op."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def clear(self) -> None:
         self.records.clear()

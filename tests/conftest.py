@@ -41,3 +41,14 @@ def at(network: Network, time: float, callback, *args) -> None:
 @pytest.fixture
 def rng() -> RandomSource:
     return RandomSource(12345)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the default result cache at a per-test tmp dir.
+
+    CLI commands cache results under ``results/.cache`` by default;
+    tests must never read stale cached results (or litter the repo), so
+    every test sees a fresh empty cache location.
+    """
+    monkeypatch.setenv("SRM_CACHE_DIR", str(tmp_path / "srm-cache"))

@@ -47,3 +47,33 @@ def test_seed_override(capsys):
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure99"])
+
+
+def test_runner_flags_parse_with_defaults():
+    args = build_parser().parse_args(["figure4"])
+    assert args.jobs == 1
+    assert args.no_cache is False
+    assert args.manifest is None
+
+
+def test_figure4_with_jobs_and_manifest(tmp_path, capsys):
+    manifest = tmp_path / "run.jsonl"
+    assert main(["figure4", "--sims", "1", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--manifest", str(manifest)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4a" in out
+    from repro.runner import read_manifest
+    rows = read_manifest(manifest, "task")
+    assert rows and all(row["status"] == "ok" for row in rows)
+
+
+def test_no_cache_flag_skips_cache(tmp_path, capsys):
+    assert main(["figure15", "--sims", "1", "--no-cache",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    assert not (tmp_path / "cache").exists()
+
+
+def test_serial_commands_have_no_runner_flags():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["robustness", "--jobs", "2"])

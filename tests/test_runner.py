@@ -1,0 +1,233 @@
+"""Tests for repro.runner: tasks, cache, pool, manifests, determinism."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import SrmConfig
+from repro.runner import (
+    ExperimentRunner,
+    ResultCache,
+    RunnerError,
+    Task,
+    canonical,
+    read_manifest,
+)
+
+# ----------------------------------------------------------------------
+# Module-level task functions: workers import them by reference, so they
+# cannot be closures. Cross-attempt state lives in files, not memory —
+# a retried task may land in a different process.
+# ----------------------------------------------------------------------
+
+
+def _double(x):
+    return 2 * x
+
+
+def _crash_until(counter_path, value, attempts_needed):
+    """Hard-kill the worker until ``attempts_needed`` attempts happened."""
+    with open(counter_path, "a") as handle:
+        handle.write("x")
+    if os.path.getsize(counter_path) < attempts_needed:
+        os._exit(17)
+    return value + 1
+
+
+def _raise_until(counter_path, value, attempts_needed):
+    """Raise (cleanly) until ``attempts_needed`` attempts happened."""
+    with open(counter_path, "a") as handle:
+        handle.write("x")
+    if os.path.getsize(counter_path) < attempts_needed:
+        raise ValueError("injected failure")
+    return value + 1
+
+
+def _always_raises():
+    raise RuntimeError("permanent failure")
+
+
+def _sleepy(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_stable_across_calls_and_indices():
+    task_a = Task("exp", 0, _double, dict(x=3))
+    task_b = Task("exp", 17, _double, dict(x=3))
+    assert task_a.fingerprint("salt") == task_b.fingerprint("salt")
+    assert task_a.fingerprint("salt") == task_a.fingerprint("salt")
+
+
+def test_fingerprint_changes_with_inputs_and_salt():
+    base = Task("exp", 0, _double, dict(x=3)).fingerprint("salt")
+    assert Task("exp", 0, _double, dict(x=4)).fingerprint("salt") != base
+    assert Task("other", 0, _double, dict(x=3)).fingerprint("salt") != base
+    assert Task("exp", 0, _double, dict(x=3)).fingerprint("v2") != base
+
+
+def test_fingerprint_covers_dataclass_fields():
+    config = SrmConfig()
+    tweaked = SrmConfig(c2=99.0)
+    base = Task("exp", 0, _double, dict(x=config)).fingerprint("")
+    assert Task("exp", 0, _double, dict(x=tweaked)).fingerprint("") != base
+
+
+def test_canonical_handles_plain_data():
+    value = canonical({"b": (1, 2), "a": {3, 1}, "c": SrmConfig()})
+    assert value["b"] == [1, 2]
+    assert value["a"] == [1, 3]
+    assert value["c"]["__type__"].endswith("SrmConfig")
+
+
+def test_canonical_rejects_unfingerprintable_types():
+    with pytest.raises(TypeError):
+        canonical(object())
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+
+
+def test_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = "ab" + "0" * 62
+    hit, _ = cache.get(key)
+    assert not hit
+    cache.put(key, {"answer": 42})
+    hit, value = cache.get(key)
+    assert hit and value == {"answer": 42}
+    assert key in cache
+    assert len(cache) == 1
+
+
+def test_cache_corrupt_entry_counts_as_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = "cd" + "0" * 62
+    cache.put(key, "good")
+    cache.path_for(key).write_bytes(b"not a pickle")
+    hit, _ = cache.get(key)
+    assert not hit
+    assert key not in cache  # corrupt entry was deleted
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    for index in range(3):
+        cache.put(f"{index:02d}" + "0" * 62, index)
+    assert cache.clear() == 3
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Runner: cache hits/misses, manifests, retries, timeouts
+# ----------------------------------------------------------------------
+
+
+def test_runner_cache_hit_and_miss_on_fingerprint_change(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    first = ExperimentRunner(cache=cache)
+    assert first.map("exp", _double, [dict(x=1), dict(x=2)]) == [2, 4]
+    assert [report.cache for report in first.reports] == ["miss", "miss"]
+
+    second = ExperimentRunner(cache=cache)
+    # x=2 is cached from the first run; x=3 is a genuinely new point.
+    assert second.map("exp", _double, [dict(x=2), dict(x=3)]) == [4, 6]
+    assert [report.cache for report in second.reports] == ["hit", "miss"]
+
+
+def test_runner_manifest_rows(tmp_path):
+    manifest_path = tmp_path / "run.jsonl"
+    runner = ExperimentRunner(cache=ResultCache(tmp_path / "cache"),
+                              manifest_path=str(manifest_path))
+    runner.map("exp", _double, [dict(x=5)])
+    header, = read_manifest(manifest_path, "header")
+    assert header["tasks"] == 1 and header["cache"] == "on"
+    task_row, = read_manifest(manifest_path, "task")
+    assert task_row["task"] == "exp/0"
+    assert task_row["status"] == "ok"
+    assert task_row["cache"] == "miss"
+    assert task_row["attempts"] == 1
+    assert task_row["pid"] == os.getpid()
+    summary, = read_manifest(manifest_path, "summary")
+    assert summary["completed"] == 1 and not summary["failed"]
+
+
+def test_serial_retry_then_succeed(tmp_path):
+    counter = tmp_path / "counter"
+    runner = ExperimentRunner(jobs=1, retries=2, backoff=0.01)
+    out = runner.map("flaky", _raise_until,
+                     [dict(counter_path=str(counter), value=41,
+                           attempts_needed=2)])
+    assert out == [42]
+    report, = runner.reports
+    assert report.status == "ok" and report.attempts == 2
+
+
+def test_serial_permanent_failure_raises(tmp_path):
+    manifest_path = tmp_path / "run.jsonl"
+    runner = ExperimentRunner(jobs=1, retries=1, backoff=0.01,
+                              manifest_path=str(manifest_path))
+    with pytest.raises(RunnerError, match="permanent failure"):
+        runner.map("bad", _always_raises, [dict()])
+    task_row, = read_manifest(manifest_path, "task")
+    assert task_row["status"] == "failed" and task_row["attempts"] == 2
+    summary, = read_manifest(manifest_path, "summary")
+    assert summary["failed"]
+
+
+def test_parallel_retry_after_worker_crash(tmp_path):
+    counter = tmp_path / "counter"
+    runner = ExperimentRunner(jobs=2, retries=2, backoff=0.01)
+    out = runner.map("crashy", _crash_until,
+                     [dict(counter_path=str(counter), value=41,
+                           attempts_needed=2)])
+    assert out == [42]
+    report, = runner.reports
+    assert report.status == "ok" and report.attempts == 2
+    kinds = [record.kind for record in runner.trace]
+    assert "task_retry" in kinds
+
+
+def test_parallel_timeout_kills_and_raises(tmp_path):
+    manifest_path = tmp_path / "run.jsonl"
+    runner = ExperimentRunner(jobs=2, retries=1, backoff=0.01,
+                              task_timeout=0.3,
+                              manifest_path=str(manifest_path))
+    begun = time.monotonic()
+    with pytest.raises(RunnerError, match="timed out"):
+        runner.map("sleepy", _sleepy, [dict(seconds=60)])
+    assert time.monotonic() - begun < 20  # never waited the full sleep
+    task_row, = read_manifest(manifest_path, "task")
+    assert task_row["status"] == "timeout" and task_row["attempts"] == 2
+
+
+def test_parallel_results_arrive_in_task_order():
+    # Uneven task durations: completion order differs from task order.
+    runner = ExperimentRunner(jobs=3)
+    delays = [0.2, 0.0, 0.1, 0.05]
+    out = runner.map("sleepy", _sleepy,
+                     [dict(seconds=seconds) for seconds in delays])
+    assert out == delays
+    # Manifest-free run: reports list is still in completion order, but
+    # every task is present exactly once.
+    assert sorted(report.index for report in runner.reports) == [0, 1, 2, 3]
+
+
+def test_trace_listener_sees_live_progress():
+    runner = ExperimentRunner(jobs=1)
+    seen = []
+    runner.trace.subscribe(lambda record: seen.append(record.kind))
+    runner.map("exp", _double, [dict(x=1), dict(x=2)])
+    assert seen[0] == "run_start"
+    assert seen.count("task_done") == 2
+    assert seen[-1] == "run_end"

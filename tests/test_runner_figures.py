@@ -1,0 +1,63 @@
+"""End-to-end runner acceptance: figure sweeps through the runner.
+
+The acceptance bar for the execution engine: ``figure4`` at reduced
+scale must produce byte-identical series output for ``--jobs 1``,
+``--jobs 4``, and a second cached run — and the cached run's manifest
+must report 100% cache hits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+from repro.runner import ExperimentRunner, ResultCache, read_manifest
+
+REDUCED = dict(sizes=(20,), sims_per_size=3, seed=4)
+
+
+def test_figure4_jobs1_jobs4_and_cached_run_identical(tmp_path):
+    serial = run_figure4(runner=ExperimentRunner(jobs=1), **REDUCED)
+    parallel = run_figure4(runner=ExperimentRunner(jobs=4), **REDUCED)
+    assert parallel.format_table() == serial.format_table()
+
+    cache = ResultCache(tmp_path / "cache")
+    warm_manifest = tmp_path / "warm.jsonl"
+    warm = run_figure4(runner=ExperimentRunner(
+        jobs=4, cache=cache, manifest_path=str(warm_manifest)), **REDUCED)
+    assert warm.format_table() == serial.format_table()
+    warm_rows = read_manifest(warm_manifest, "task")
+    assert all(row["cache"] == "miss" for row in warm_rows)
+
+    cached_manifest = tmp_path / "cached.jsonl"
+    cached = run_figure4(runner=ExperimentRunner(
+        jobs=1, cache=cache, manifest_path=str(cached_manifest)), **REDUCED)
+    assert cached.format_table() == serial.format_table()
+    rows = read_manifest(cached_manifest, "task")
+    assert rows and all(row["cache"] == "hit" for row in rows)
+    summary, = read_manifest(cached_manifest, "summary")
+    assert summary["cache_hits"] == len(rows)
+    assert summary["cache_misses"] == 0
+
+
+def test_figure4_default_runner_matches_explicit_serial():
+    assert run_figure4(**REDUCED).format_table() == \
+        run_figure4(runner=ExperimentRunner(jobs=1), **REDUCED).format_table()
+
+
+def test_cache_does_not_leak_between_different_sweep_points(tmp_path):
+    # Same scenarios, different seeds: every task must be a fresh miss.
+    cache = ResultCache(tmp_path / "cache")
+    run_figure4(runner=ExperimentRunner(cache=cache), **REDUCED)
+    runner = ExperimentRunner(cache=cache)
+    run_figure4(runner=runner, sizes=(20,), sims_per_size=3, seed=5)
+    assert all(report.cache == "miss" for report in runner.reports)
+
+
+@pytest.mark.slow
+def test_figure4_full_scale_parallel_parity():
+    """Full-sweep parity check, excluded from tier-1 by the slow marker."""
+    full = dict(sizes=(20, 40, 60), sims_per_size=8, seed=4)
+    serial = run_figure4(runner=ExperimentRunner(jobs=1), **full)
+    parallel = run_figure4(runner=ExperimentRunner(jobs=2), **full)
+    assert parallel.format_table() == serial.format_table()

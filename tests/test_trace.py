@@ -89,3 +89,52 @@ def test_iteration_yields_records_in_order():
     trace.record(1.0, 1, "a")
     trace.record(2.0, 2, "b")
     assert [row.kind for row in trace] == ["a", "b"]
+
+
+def test_unsubscribe_stops_delivery():
+    trace = Trace()
+    seen = []
+    trace.subscribe(seen.append)
+    trace.record(1.0, 1, "send")
+    trace.unsubscribe(seen.append)
+    trace.record(2.0, 1, "send")
+    assert len(seen) == 1
+
+
+def test_unsubscribe_unknown_listener_is_noop():
+    trace = Trace()
+    trace.unsubscribe(lambda row: None)  # never subscribed; no error
+
+
+def test_listener_may_unsubscribe_itself_mid_delivery():
+    trace = Trace()
+    seen = []
+
+    def once(row):
+        seen.append(row.kind)
+        trace.unsubscribe(once)
+
+    trace.subscribe(once)
+    trace.subscribe(lambda row: seen.append("other"))
+    trace.record(1.0, 1, "first")
+    trace.record(2.0, 1, "second")
+    # `once` saw exactly one record; the other listener saw both, and
+    # the mid-iteration removal did not skip it on the first delivery.
+    assert seen == ["first", "other", "other"]
+
+
+def test_listener_may_subscribe_another_mid_delivery():
+    trace = Trace()
+    seen = []
+
+    def recruiter(row):
+        seen.append("recruiter")
+        trace.subscribe(lambda r: seen.append("recruit"))
+
+    trace.subscribe(recruiter)
+    trace.record(1.0, 1, "first")
+    # The recruit was added during delivery but only hears later records.
+    assert seen == ["recruiter"]
+    trace.unsubscribe(recruiter)
+    trace.record(2.0, 1, "second")
+    assert seen == ["recruiter", "recruit"]
