@@ -171,6 +171,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default=defaults.get("runs", 10))
         sub.add_argument("--rounds", type=int,
                          default=defaults.get("rounds", 100))
+        sub.add_argument("--profile", action="store_true",
+                         help="print kernel perf counters and events/sec "
+                              "to stderr after the run (serial runs "
+                              "report complete numbers; workers keep "
+                              "their own counters)")
         if name in RUNNER_COMMANDS:
             sub.add_argument("--jobs", type=int, default=1,
                              help="worker processes for the sweep "
@@ -202,8 +207,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if getattr(args, "seed", None) is None:
         args.seed = FIGURE_SEEDS[args.command]
+    profile = getattr(args, "profile", False)
+    if profile:
+        from repro.sim import perf
+        perf.reset()
     try:
-        COMMANDS[args.command](args)
+        if profile:
+            from repro.sim import perf
+            with perf.measure() as timing:
+                COMMANDS[args.command](args)
+            # stderr, so profiled stdout stays byte-identical to a
+            # plain run (and golden-output comparisons keep working).
+            print(perf.counters().format_report(timing.wall_s),
+                  file=sys.stderr)
+        else:
+            COMMANDS[args.command](args)
     except BrokenPipeError:
         # Output piped into e.g. `head`; exit quietly like other CLIs.
         try:

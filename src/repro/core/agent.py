@@ -201,7 +201,9 @@ class SrmAgent(Agent):
         return self._fixed_params
 
     def trace(self, kind: str, **detail: Any) -> None:
-        self.network.trace.record(self.now, self.node_id, kind, **detail)
+        trace = self.network.trace
+        if trace.enabled:
+            trace.record(self._scheduler.now, self.node_id, kind, **detail)
 
     def _distance_or_default(self, peer: int) -> float:
         """Distance to a peer, tolerating unknown/departed node ids.
@@ -324,8 +326,11 @@ class SrmAgent(Agent):
     # ------------------------------------------------------------------
 
     def receive(self, packet: Packet) -> None:
-        if packet.is_multicast and packet.dst not in self._joined_groups:
+        dst = packet.dst
+        if dst.__class__ is GroupAddress and dst not in self._joined_groups:
             # Another agent on this node joined that group; not ours.
+            # (Class check rather than the is_multicast property: this
+            # runs once per delivered packet.)
             return
         if packet.kind == KIND_DATA:
             payload: DataPayload = packet.payload

@@ -67,7 +67,7 @@ class RepairPayload:
     local_step: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionTimestamp:
     """Per-peer timestamp echo for the simplified-NTP distance estimate.
 

@@ -23,8 +23,19 @@ class PageId:
     creator: int
     number: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.creator, self.number)))
+
     def __str__(self) -> str:
         return f"page({self.creator}:{self.number})"
+
+
+# Page ids key the per-stream reception tables consulted on every data
+# arrival and session report; the generated hash rebuilds a field tuple
+# per call. Hash once at construction (equal pages hash the same tuple,
+# so this is consistent with equality). Assigned after class creation so
+# the dataclass machinery does not replace it.
+PageId.__hash__ = lambda self: self._hash  # type: ignore[method-assign]
 
 
 #: The page used by applications that do not need the page hierarchy.
@@ -48,9 +59,16 @@ class AduName:
     def __post_init__(self) -> None:
         if self.seq < 1:
             raise ValueError(f"sequence numbers start at 1, got {self.seq}")
+        object.__setattr__(
+            self, "_hash", hash((self.source, self.page, self.seq)))
 
     def __str__(self) -> str:
         return f"{self.source}:{self.page.creator}.{self.page.number}:{self.seq}"
+
+
+# Names key the data store, request table, and repair table on every
+# packet; cache the hash at construction like PageId above.
+AduName.__hash__ = lambda self: self._hash  # type: ignore[method-assign]
 
 
 def name_range(source: int, page: PageId, first_seq: int,

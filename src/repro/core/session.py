@@ -177,10 +177,12 @@ class SessionProtocol:
             estimate = ((now - echo.t1) - echo.delta) / 2.0
             agent.distances.update(payload.member, estimate)
         # Reception-state reports reveal tail losses.
+        node_id = agent.node_id
+        note_high_water = agent.reception.note_high_water
         for (source, page), high_seq in payload.page_state.items():
-            if source == agent.node_id:
+            if source == node_id:
                 continue
-            newly_missing = agent.reception.note_high_water(
-                source, page, high_seq)
-            for name in newly_missing:
-                agent.on_loss_detected(name)
+            newly_missing = note_high_water(source, page, high_seq)
+            if newly_missing:
+                for name in newly_missing:
+                    agent.on_loss_detected(name)

@@ -137,8 +137,13 @@ class ReceptionState:
         Returns the names newly discovered missing.
         """
         key = (source, page)
+        previous = self._high.get(key)
+        if previous is not None and seq <= previous:
+            # Session reports mostly repeat known high-water marks; this
+            # is the steady-state path and nothing below can fire.
+            return []
         if (self.adopt_streams and key not in self._base
-                and key not in self._high):
+                and previous is None):
             # An adopted stream we have never received from: note that
             # the data exists but do not chase its history.
             self._base[key] = seq + 1
@@ -150,18 +155,22 @@ class ReceptionState:
 
     def _raise_high_water(self, key: StreamKey, seq: int,
                           exclude: Optional[int]) -> List[AduName]:
-        base = self._stream_base(key)
-        previous_high = self._high.get(key, base - 1)
-        if seq > previous_high:
-            self._high[key] = seq
-        received = self._received.setdefault(key, set())
+        previous_high = self._high.get(key)
+        if previous_high is None:
+            # First sighting of this stream; _base (when set) is always
+            # one past any recorded high, so the max() only matters here.
+            previous_high = self._stream_base(key) - 1
+        if seq <= previous_high:
+            return []
+        self._high[key] = seq
+        received = self._received.get(key)
+        if received is None:
+            received = self._received[key] = set()
         source, page = key
-        missing = []
-        for candidate in range(max(previous_high + 1, base), seq + 1):
-            if candidate == exclude or candidate in received:
-                continue
-            missing.append(AduName(source, page, candidate))
-        return missing
+        start = max(previous_high + 1, self._stream_base(key))
+        return [AduName(source, page, candidate)
+                for candidate in range(start, seq + 1)
+                if candidate != exclude and candidate not in received]
 
     def missing(self, source: int, page: PageId) -> List[AduName]:
         """All currently-missing names on a stream (for page requests)."""

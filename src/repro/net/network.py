@@ -26,15 +26,22 @@ packets race toward the same link.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.mcast.groups import GroupManager
 from repro.net.link import Link
 from repro.net.node import Agent, Node
 from repro.net.packet import DEFAULT_TTL, GroupAddress, NodeId, Packet
 from repro.net.routing import SourceTree, build_source_tree
+from repro.sim import perf
 from repro.sim.scheduler import EventScheduler
 from repro.sim.trace import Trace
+
+#: One delivery-plan entry: (one-way delay, hop count, target), where
+#: target is a single member id or a tuple of member ids that share the
+#: same delay and hop count and are therefore delivered by one event.
+PlanTarget = Union[NodeId, Tuple[NodeId, ...]]
+PlanEntry = Tuple[float, int, PlanTarget]
 
 
 class Network:
@@ -61,6 +68,17 @@ class Network:
         #: (origin, gid) -> (membership version, nodes with members at or
         #: below them) — the DVMRP-style pruned forwarding state.
         self._prune_cache: Dict[Tuple[NodeId, int], Tuple[int, Set[NodeId]]] = {}
+        #: Direct-engine delivery plans: (origin, gid, initial_ttl,
+        #: scope_zone) -> (tree identity, membership version, zone version,
+        #: filter version, delivery entries, receiver count). The tree
+        #: identity entry invalidates on any topology change (trees are
+        #: rebuilt), the versions on membership / zone / filter changes.
+        self._plan_cache: Dict[
+            Tuple[NodeId, int, int, Optional[str]],
+            Tuple[SourceTree, int, int, int, Tuple[PlanEntry, ...], int]] = {}
+        self._zone_version = 0
+        self._filter_version = 0
+        self.perf = perf.GLOBAL
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -103,15 +121,18 @@ class Network:
         link = self.link_between(a, b)
         link.add_filter(drop_filter)
         self._filtered_links.add(link)
+        self._filter_version += 1
 
     def clear_drop_filters(self) -> None:
         for link in self._filtered_links:
             link.clear_filters()
         self._filtered_links.clear()
+        self._filter_version += 1
 
     def define_scope_zone(self, name: str, nodes: Iterable[NodeId]) -> None:
         """Declare an administrative scope zone (Section VII-B1)."""
         self.scope_zones[name] = set(nodes)
+        self._zone_version += 1
 
     def set_link_bandwidth(self, a: NodeId, b: NodeId, bandwidth: float,
                            queue_limit: Optional[int] = None) -> Link:
@@ -181,6 +202,7 @@ class Network:
     def send(self, packet: Packet) -> None:
         """Inject a packet at its origin node."""
         packet.sent_at = self.scheduler.now
+        self.perf.count_packet(packet.kind)
         if packet.is_multicast:
             if self.delivery == "direct":
                 self._multicast_direct(packet)
@@ -237,9 +259,11 @@ class Network:
                 continue
             if link.drops_packet(packet, parent):
                 self.packets_dropped += 1
-                self.trace.record(self.scheduler.now, parent, "drop",
-                                  packet=packet.uid, packet_kind=packet.kind,
-                                  link=(parent, child))
+                if self.trace.enabled:
+                    self.trace.record(self.scheduler.now, parent, "drop",
+                                      packet=packet.uid,
+                                      packet_kind=packet.kind,
+                                      link=(parent, child))
                 subtrees.append(tree.subtree(child))
         return subtrees
 
@@ -252,26 +276,127 @@ class Network:
             raise KeyError(f"unknown scope zone {packet.scope_zone!r}")
         return all(node in zone for node in tree.path(target))
 
+    def _multicast_plan(self, tree: SourceTree,
+                        packet: Packet) -> Tuple[Tuple[PlanEntry, ...], int]:
+        """TTL/zone-eligible receivers for this (origin, group, ttl, zone).
+
+        Returns ``(entries, receiver_count)``. Receivers sharing the same
+        (delay, hop count) are merged into one entry delivered by a single
+        event. Two same-send arrivals tie in time exactly when they tie in
+        delay, so a stable sort by delay followed by merging preserves the
+        per-receiver firing order the unmerged engine produced: receivers
+        at distinct delays were already ordered by time, and receivers at
+        equal delay keep their membership-iteration order inside the run.
+
+        Drop filters are deliberately *not* folded in: their verdict can
+        change per send (counting filters), so cuts are applied on top of
+        the plan at send time.
+        """
+        initial_ttl = packet.initial_ttl
+        origin = packet.origin
+        scoped = packet.scope_zone is not None
+        dist = tree.dist
+        hops = tree.hops
+        ttl_required = tree.ttl_required
+        eligible: List[Tuple[float, int, NodeId]] = []
+        order = 0
+        for member in self.groups.members(packet.dst):  # type: ignore[arg-type]
+            if member == origin:
+                continue
+            if initial_ttl < ttl_required[member]:
+                continue
+            if scoped and not self._zone_allows(tree, packet, member):
+                continue
+            eligible.append((dist[member], order, member))
+            order += 1
+        eligible.sort()  # by delay; order index keeps the sort stable
+        entries: List[PlanEntry] = []
+        run_dist = run_hops = None
+        run_members: List[NodeId] = []
+        for member_dist, _, member in eligible:
+            member_hops = hops[member]
+            if run_members and member_dist == run_dist \
+                    and member_hops == run_hops:
+                run_members.append(member)
+                continue
+            if run_members:
+                entries.append((run_dist, run_hops,
+                                run_members[0] if len(run_members) == 1
+                                else tuple(run_members)))
+            run_dist, run_hops = member_dist, member_hops
+            run_members = [member]
+        if run_members:
+            entries.append((run_dist, run_hops,
+                            run_members[0] if len(run_members) == 1
+                            else tuple(run_members)))
+        return tuple(entries), len(eligible)
+
     def _multicast_direct(self, packet: Packet) -> None:
-        tree = self.source_tree(packet.origin)
-        members = self.groups.members(packet.dst)  # type: ignore[arg-type]
-        cuts = self._dropped_subtrees(tree, packet)
-        reached: List[NodeId] = []
-        for member in members:
-            if member == packet.origin:
-                continue
-            if packet.initial_ttl < tree.ttl_required[member]:
-                continue
-            if any(member in cut for cut in cuts):
-                continue
-            if packet.scope_zone is not None and not self._zone_allows(
-                    tree, packet, member):
-                continue
-            arrival = _arrived_copy(packet, tree.hops[member])
-            self.scheduler.schedule(tree.dist[member],
-                                    self._deliver, member, arrival)
-            reached.append(member)
+        origin = packet.origin
+        tree = self._trees.get(origin)
+        if tree is None:
+            tree = self.source_tree(origin)
+        key = (origin, packet.dst.gid,  # type: ignore[union-attr]
+               packet.initial_ttl, packet.scope_zone)
+        cached = self._plan_cache.get(key)
+        if (cached is not None and cached[0] is tree
+                and cached[1] == self.groups.version
+                and cached[2] == self._zone_version
+                and cached[3] == self._filter_version):
+            plan, receivers = cached[4], cached[5]
+            self.perf.plan_cache_hits += 1
+        else:
+            plan, receivers = self._multicast_plan(tree, packet)
+            self._plan_cache[key] = (tree, self.groups.version,
+                                     self._zone_version,
+                                     self._filter_version, plan, receivers)
+            self.perf.plan_cache_misses += 1
+        # Filters must be consulted on every send (their counters advance
+        # with traffic), but the common case — no filter armed anywhere —
+        # skips the scan entirely.
+        cuts = (self._dropped_subtrees(tree, packet)
+                if self._filtered_links else ())
+        schedule = self.scheduler.schedule
+        deliver = self._deliver
+        deliver_many = self._deliver_many
+        copies: Dict[int, Packet] = {}
+        scheduled = 0
+        if cuts:
+            for dist, hops, target in plan:
+                if type(target) is tuple:
+                    kept = [member for member in target
+                            if not any(member in cut for cut in cuts)]
+                    if not kept:
+                        continue
+                    count = len(kept)
+                    target = kept[0] if count == 1 else tuple(kept)
+                else:
+                    if any(target in cut for cut in cuts):
+                        continue
+                    count = 1
+                arrival = copies.get(hops)
+                if arrival is None:
+                    copies[hops] = arrival = _arrived_copy(packet, hops)
+                if count == 1:
+                    schedule(dist, deliver, target, arrival)
+                else:
+                    schedule(dist, deliver_many, target, arrival)
+                scheduled += count
+        else:
+            for dist, hops, target in plan:
+                arrival = copies.get(hops)
+                if arrival is None:
+                    copies[hops] = arrival = _arrived_copy(packet, hops)
+                if type(target) is tuple:
+                    schedule(dist, deliver_many, target, arrival)
+                else:
+                    schedule(dist, deliver, target, arrival)
+            scheduled = receivers
+        counters = self.perf
+        counters.arrival_copies += len(copies)
+        counters.arrival_copies_shared += scheduled - len(copies)
         if self.account_bandwidth:
+            members = self.groups.members(packet.dst)  # type: ignore[arg-type]
             self._account_multicast(tree, packet, members, cuts)
 
     def _account_multicast(self, tree: SourceTree, packet: Packet,
@@ -315,9 +440,11 @@ class Network:
             link = self.adjacency[parent][child]
             if link.filters and link.drops_packet(packet, parent):
                 self.packets_dropped += 1
-                self.trace.record(self.scheduler.now, parent, "drop",
-                                  packet=packet.uid, packet_kind=packet.kind,
-                                  link=(parent, child))
+                if self.trace.enabled:
+                    self.trace.record(self.scheduler.now, parent, "drop",
+                                      packet=packet.uid,
+                                      packet_kind=packet.kind,
+                                      link=(parent, child))
                 return
             if self.account_bandwidth:
                 link.account(packet)
@@ -372,17 +499,20 @@ class Network:
                 continue
             if link.filters and link.drops_packet(packet, at):
                 self.packets_dropped += 1
-                self.trace.record(self.scheduler.now, at, "drop",
-                                  packet=packet.uid, packet_kind=packet.kind,
-                                  link=(at, child))
+                if self.trace.enabled:
+                    self.trace.record(self.scheduler.now, at, "drop",
+                                      packet=packet.uid,
+                                      packet_kind=packet.kind,
+                                      link=(at, child))
                 continue
             arrival = link.arrival_time(self.scheduler, packet, at)
             if arrival is None:
                 self.packets_dropped += 1
-                self.trace.record(self.scheduler.now, at, "queue_drop",
-                                  packet=packet.uid,
-                                  packet_kind=packet.kind,
-                                  link=(at, child))
+                if self.trace.enabled:
+                    self.trace.record(self.scheduler.now, at, "queue_drop",
+                                      packet=packet.uid,
+                                      packet_kind=packet.kind,
+                                      link=(at, child))
                 continue
             if self.account_bandwidth:
                 link.account(packet)
@@ -405,16 +535,18 @@ class Network:
         link = self.adjacency[at][next_hop]
         if link.filters and link.drops_packet(packet, at):
             self.packets_dropped += 1
-            self.trace.record(self.scheduler.now, at, "drop",
-                              packet=packet.uid, packet_kind=packet.kind,
-                              link=(at, next_hop))
+            if self.trace.enabled:
+                self.trace.record(self.scheduler.now, at, "drop",
+                                  packet=packet.uid, packet_kind=packet.kind,
+                                  link=(at, next_hop))
             return
         arrival = link.arrival_time(self.scheduler, packet, at)
         if arrival is None:
             self.packets_dropped += 1
-            self.trace.record(self.scheduler.now, at, "queue_drop",
-                              packet=packet.uid, packet_kind=packet.kind,
-                              link=(at, next_hop))
+            if self.trace.enabled:
+                self.trace.record(self.scheduler.now, at, "queue_drop",
+                                  packet=packet.uid, packet_kind=packet.kind,
+                                  link=(at, next_hop))
             return
         if self.account_bandwidth:
             link.account(packet)
@@ -427,6 +559,19 @@ class Network:
 
     def _deliver(self, node_id: NodeId, packet: Packet) -> None:
         self.nodes[node_id].deliver(packet)
+
+    def _deliver_many(self, members: Tuple[NodeId, ...],
+                      packet: Packet) -> None:
+        """Deliver one arrival to a same-(delay, hops) run of receivers.
+
+        Routes through :meth:`_deliver`, resolved at fire time (not
+        schedule time), so mid-run attachment changes — and tests that
+        wrap ``_deliver`` to observe deliveries — behave exactly as they
+        did when every receiver had its own event.
+        """
+        deliver = self._deliver
+        for member in members:
+            deliver(member, packet)
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> int:

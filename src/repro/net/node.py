@@ -26,11 +26,13 @@ class Agent:
     def __init__(self) -> None:
         self.node_id: NodeId = -1
         self.network: "Network" = None  # type: ignore[assignment]
+        self._scheduler = None  # bound at attach; hot clock reads skip hops
 
     def attached(self, network: "Network", node_id: NodeId) -> None:
         """Hook called when the agent is bound to a node."""
         self.network = network
         self.node_id = node_id
+        self._scheduler = network.scheduler
 
     def receive(self, packet: Packet) -> None:
         """Handle a packet delivered to this agent's node."""
@@ -38,7 +40,7 @@ class Agent:
 
     @property
     def now(self) -> float:
-        return self.network.scheduler.now
+        return self._scheduler.now
 
 
 class Node:
@@ -56,8 +58,15 @@ class Node:
 
     def deliver(self, packet: Packet) -> None:
         """Hand a packet to every attached agent."""
-        for agent in list(self.agents):
-            agent.receive(packet)
+        agents = self.agents
+        if len(agents) == 1:
+            # Overwhelmingly common case; the defensive copy below only
+            # matters when several agents share a node and one detaches
+            # another mid-delivery.
+            agents[0].receive(packet)
+        else:
+            for agent in list(agents):
+                agent.receive(packet)
 
     def __repr__(self) -> str:
         return f"<Node {self.node_id} agents={len(self.agents)}>"

@@ -36,6 +36,14 @@ class GroupAddress:
         return self.label or f"group-{self.gid}"
 
 
+# Group addresses key membership tables consulted once per delivery; the
+# generated hash builds a (gid, label) tuple every call. Hashing the gid
+# alone is consistent with equality (equal addresses share a gid) and
+# skips the tuple. Assigned after class creation so the dataclass
+# machinery does not replace it.
+GroupAddress.__hash__ = lambda self: hash(self.gid)  # type: ignore[method-assign]
+
+
 Address = Union[NodeId, GroupAddress]
 
 
@@ -44,7 +52,7 @@ def is_multicast(address: Address) -> bool:
     return isinstance(address, GroupAddress)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A datagram.
 
@@ -56,6 +64,11 @@ class Packet:
     ``ttl`` is decremented at each hop; ``initial_ttl`` is carried unchanged
     so receivers can compute their hop count from the origin, which SRM's
     TTL-scoped local recovery relies on (Section VII-B3).
+
+    ``slots=True`` because packet allocation is on the delivery hot path:
+    paper-scale rounds create one arrival copy per (send, hop-distance),
+    and the slot layout roughly halves the per-packet memory and
+    attribute-access cost.
     """
 
     origin: NodeId

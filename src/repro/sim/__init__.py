@@ -2,14 +2,17 @@
 
 The kernel is deliberately small: an event heap (:class:`EventScheduler`),
 cancellable/reschedulable timers (:class:`Timer`), a seeded random source
-(:class:`RandomSource`), and a structured trace recorder (:class:`Trace`).
-Everything else in the reproduction (links, protocol agents, applications)
-is built as callbacks scheduled on this kernel.
+(:class:`RandomSource`), a structured trace recorder (:class:`Trace`), and
+process-wide performance counters (:mod:`repro.sim.perf`). Everything else
+in the reproduction (links, protocol agents, applications) is built as
+callbacks scheduled on this kernel.
 
 Time is a float in abstract "units"; the paper normalizes one unit to the
 propagation delay of one link, and so do all experiment drivers.
 """
 
+from repro.sim import perf
+from repro.sim.perf import PerfCounters
 from repro.sim.scheduler import Event, EventScheduler, SimulationError
 from repro.sim.timers import Timer, TimerState
 from repro.sim.rng import RandomSource
@@ -18,10 +21,12 @@ from repro.sim.trace import Trace, TraceRecord
 __all__ = [
     "Event",
     "EventScheduler",
+    "PerfCounters",
     "SimulationError",
     "Timer",
     "TimerState",
     "RandomSource",
     "Trace",
     "TraceRecord",
+    "perf",
 ]

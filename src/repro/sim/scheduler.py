@@ -4,13 +4,33 @@ A simulation is a single :class:`EventScheduler` plus callbacks. Events are
 ordered by (time, sequence number) so that simultaneous events fire in the
 order they were scheduled, which keeps runs exactly reproducible for a given
 random seed.
+
+Two hot-path design decisions, both invisible to callers:
+
+* Heap entries are ``(time, seq, event)`` tuples rather than the
+  :class:`Event` objects themselves. ``seq`` is unique, so tuple
+  comparison is decided at C speed without ever calling a Python
+  ``__lt__`` — on event-dense workloads the comparison cost of heap
+  maintenance drops by an order of magnitude.
+* Cancellation is lazy (a cancelled event stays in the heap and is
+  skipped when popped), but the scheduler counts cancelled-in-heap
+  entries and *compacts* the heap when they dominate. SRM suppression
+  cancels most request/repair timers, so without compaction the heap of
+  a long session grows with dead entries and every push/pop pays their
+  log-factor. Compaction preserves (time, seq) order exactly, so
+  execution order — and therefore every seeded result — is unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Optional
+
+from repro.sim import perf
+
+#: Compact only when the heap holds more cancelled entries than this
+#: *and* they are the majority — small heaps never pay a rebuild.
+COMPACT_MIN_CANCELLED = 256
 
 
 class SimulationError(RuntimeError):
@@ -22,22 +42,29 @@ class Event:
 
     Events are created by :meth:`EventScheduler.schedule` and may be
     cancelled. A cancelled event stays in the heap but is skipped when
-    popped (lazy deletion), which makes cancellation O(1).
+    popped (lazy deletion), which makes cancellation O(1); the owning
+    scheduler compacts the heap when cancelled entries dominate.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sched")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple):
+                 callback: Callable[..., Any], args: tuple,
+                 sched: Optional["EventScheduler"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sched = sched
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sched is not None:
+            self._sched._note_cancelled(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -59,11 +86,15 @@ class EventScheduler:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._next_seq = 0
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        #: Cancelled events still sitting in the heap (lazy deletion).
+        self._cancelled_in_heap = 0
+        self._heap_rebuilds = 0
+        self.perf = perf.GLOBAL
 
     @property
     def now(self) -> float:
@@ -75,9 +106,18 @@ class EventScheduler:
         """Number of events executed so far (for instrumentation)."""
         return self._events_processed
 
+    @property
+    def heap_rebuilds(self) -> int:
+        """Number of compactions performed (for instrumentation)."""
+        return self._heap_rebuilds
+
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-fired, not-cancelled events. O(1)."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def heap_size(self) -> int:
+        """Total heap entries, including cancelled ones awaiting removal."""
+        return len(self._heap)
 
     def schedule(self, delay: float, callback: Callable[..., Any],
                  *args: Any) -> Event:
@@ -85,7 +125,13 @@ class EventScheduler:
         if delay < 0:
             raise SimulationError(
                 f"cannot schedule {delay} units in the past (now={self._now})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self.perf.events_scheduled += 1
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
                     *args: Any) -> Event:
@@ -93,9 +139,37 @@ class EventScheduler:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}, clock already at {self._now}")
-        event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self.perf.events_scheduled += 1
         return event
+
+    def _note_cancelled(self, event: Event) -> None:
+        """Bookkeeping for a cancel; compacts when dead entries dominate."""
+        self._cancelled_in_heap += 1
+        self.perf.events_cancelled += 1
+        cancelled = self._cancelled_in_heap
+        if (cancelled >= COMPACT_MIN_CANCELLED
+                and cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, preserving order.
+
+        Mutates the heap list in place so a concurrently-executing
+        :meth:`run` loop (which holds a reference to it) sees the
+        compacted heap.
+        """
+        heap = self._heap
+        if len(heap) > self.perf.heap_peak:
+            self.perf.heap_peak = len(heap)
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
+        self._heap_rebuilds += 1
+        self.perf.heap_rebuilds += 1
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> int:
@@ -110,51 +184,70 @@ class EventScheduler:
             raise SimulationError("scheduler is already running")
         self._running = True
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        counters = self.perf
+        if len(heap) > counters.heap_peak:
+            counters.heap_peak = len(heap)
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._heap[0]
+                time, _, event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    self._cancelled_in_heap -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
+                pop(heap)
+                # A fired event is out of the heap: a late cancel() on its
+                # handle must not touch the in-heap cancellation counter.
+                event._sched = None
+                self._now = time
                 event.callback(*event.args)
                 executed += 1
-                self._events_processed += 1
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
+            self._events_processed += executed
+            counters.events_executed += executed
         return executed
 
     def step(self) -> bool:
         """Execute the single next pending event. Returns False if none."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _, event = heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            self._now = event.time
+            event._sched = None
+            self._now = time
             event.callback(*event.args)
             self._events_processed += 1
+            self.perf.events_executed += 1
             return True
         return False
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        if heap:
+            return heap[0][0]
         return None
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
         if self._running:
             raise SimulationError("cannot reset a running scheduler")
+        for _, _, event in self._heap:
+            event._sched = None  # late cancels must not corrupt counters
         self._heap.clear()
+        self._cancelled_in_heap = 0
         self._now = 0.0
         self._events_processed = 0

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One traced protocol event."""
 
@@ -38,12 +38,13 @@ class Trace:
         """Append a record (no-op when tracing is disabled)."""
         if not self.enabled:
             return
-        row = TraceRecord(time=time, node=node, kind=kind, detail=detail)
+        row = TraceRecord(time, node, kind, detail)
         self.records.append(row)
-        # Snapshot: a listener may subscribe/unsubscribe from inside its
-        # callback without perturbing this delivery round.
-        for listener in tuple(self._listeners):
-            listener(row)
+        if self._listeners:
+            # Snapshot: a listener may subscribe/unsubscribe from inside
+            # its callback without perturbing this delivery round.
+            for listener in tuple(self._listeners):
+                listener(row)
 
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Invoke ``listener`` on every future record (live monitoring)."""

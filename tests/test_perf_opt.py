@@ -1,0 +1,217 @@
+"""Tests for the hot-path optimizations: delivery-plan cache
+invalidation, timer-heap compaction, arrival-copy dedup, and the perf
+counter layer.
+
+The plan cache, merged delivery runs, and shared arrival copies must be
+invisible: every scenario here is run on the direct engine twice — once
+with the plan cache active, once with it forcibly cleared before every
+send — and the delivered (time, member, kind, ttl) sets must agree even
+when membership, drop filters, or the topology change mid-run. (The hop
+engine is not a usable reference here: it checks membership at forward
+time rather than send time, a pre-existing semantic difference that
+shows up only under mid-run mutation.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.link import NthPacketDropFilter
+from repro.net.node import Agent
+from repro.net.packet import Packet
+from repro.sim import perf
+from repro.sim.rng import RandomSource
+from repro.sim.scheduler import COMPACT_MIN_CANCELLED, EventScheduler
+from repro.topology.random_tree import random_labeled_tree
+from repro.topology.star import star
+
+
+class Recorder(Agent):
+    def __init__(self, log):
+        super().__init__()
+        self.log = log
+
+    def receive(self, packet: Packet) -> None:
+        self.log.append((round(self.now, 9), self.node_id, packet.kind,
+                         packet.ttl))
+
+
+def run_mutating_scenario(spec, members, sends, mutations, uncached=False):
+    """Build, join ``members``, schedule ``sends`` and mid-run
+    ``mutations`` (time, fn(network, group)), run to quiescence."""
+    network = spec.build(delivery="direct")
+    if uncached:
+        original = network._multicast_direct
+
+        def uncached_direct(packet):
+            network._plan_cache.clear()
+            original(packet)
+
+        network._multicast_direct = uncached_direct
+    group = network.groups.allocate()
+    log = []
+    for member in members:
+        network.attach(member, Recorder(log))
+        network.join(member, group)
+    for at_time, origin, ttl in sends:
+        network.scheduler.schedule_at(
+            at_time, network.send_multicast, origin, group, "data", None,
+            ttl)
+    for at_time, mutate in mutations:
+        network.scheduler.schedule_at(at_time, mutate, network, group)
+    network.run()
+    return network, sorted(log)
+
+
+def both_engines_agree(spec, members, sends, mutations):
+    perf.reset()
+    cached_net, cached = run_mutating_scenario(spec, members, sends,
+                                               mutations)
+    # The scenario must actually exercise the cache for the comparison
+    # to mean anything.
+    assert perf.counters().plan_cache_hits > 0
+    _, uncached = run_mutating_scenario(spec, members, sends, mutations,
+                                        uncached=True)
+    assert cached == uncached
+    return cached_net, cached
+
+
+def tree_spec(seed=7, n=14):
+    return random_labeled_tree(n, RandomSource(seed))
+
+
+def steady_sends(origin, count=8, ttl=64):
+    return [(float(t), origin, ttl) for t in range(count)]
+
+
+def test_plan_cache_survives_join_midrun():
+    spec = tree_spec()
+    members = list(range(10))          # nodes 10..13 join later
+    sends = steady_sends(0)
+
+    def late_join(network, group):
+        for node in (10, 11, 12, 13):
+            network.attach(node, Recorder(network.nodes[0].agents[0].log))
+            network.join(node, group)
+
+    _, log = both_engines_agree(spec, members, sends, [(3.5, late_join)])
+    # The latecomers must have received the post-join sends.
+    assert any(node >= 10 for _, node, _, _ in log)
+
+
+def test_plan_cache_survives_leave_midrun():
+    spec = tree_spec()
+    members = list(range(14))
+    sends = steady_sends(0)
+
+    def leave(network, group):
+        network.leave(5, group)
+        network.leave(9, group)
+
+    _, log = both_engines_agree(spec, members, sends, [(3.5, leave)])
+    # Node 5 hears the early sends only.
+    times_at_5 = [t for t, node, _, _ in log if node == 5]
+    assert times_at_5 and max(times_at_5) < 4.0 + 14
+
+
+def test_plan_cache_survives_filter_arm_and_clear_midrun():
+    spec = tree_spec()
+    members = list(range(14))
+    sends = steady_sends(0, count=10)
+    a, b = spec.edges[2]
+
+    def arm(network, group):
+        network.add_drop_filter(
+            a, b, NthPacketDropFilter(lambda p: p.kind == "data"))
+
+    def clear(network, group):
+        network.clear_drop_filters()
+
+    both_engines_agree(spec, members, sends,
+                       [(2.5, arm), (6.5, clear)])
+
+
+def test_plan_cache_survives_topology_mutation_midrun():
+    spec = tree_spec()
+    members = list(range(14))
+    sends = steady_sends(0)
+    a, b = spec.edges[0]
+
+    def raise_threshold(network, group):
+        # The TTL-threshold change invalidates routing; rebuilding the
+        # trees must also invalidate the cached delivery plans.
+        network.link_between(a, b).threshold = 10
+        network._trees.clear()
+
+    _, log = both_engines_agree(spec, members, sends,
+                                [(3.5, raise_threshold)])
+
+
+def test_merged_star_arrivals_share_one_copy():
+    """A star delivers every leaf at the same (dist, hops): the direct
+    engine must schedule one shared arrival copy, not one per leaf."""
+    spec = star(30)
+    network = spec.build(delivery="direct")
+    group = network.groups.allocate()
+    log = []
+    for member in range(1, 31):
+        network.attach(member, Recorder(log))
+        network.join(member, group)
+    perf.reset()
+    network.send_multicast(1, group, "data", None)
+    network.run()
+    assert len(log) == 29
+    counters = perf.counters()
+    assert counters.arrival_copies == 1
+    assert counters.arrival_copies_shared == 28
+    # All leaves heard the same arrival instant, in member order.
+    assert log == sorted(log)
+
+
+def test_cancellation_heavy_heap_stays_bounded():
+    sched = EventScheduler()
+    live = []
+    for wave in range(60):
+        events = [sched.schedule(1000.0 + wave + i * 1e-4, lambda: None)
+                  for i in range(200)]
+        for event in events[:180]:
+            event.cancel()
+        live.extend(events[180:])
+    assert sched.pending() == len(live) == 60 * 20
+    # Lazy deletion must not let cancelled entries pile up: the heap may
+    # keep a compaction backlog but never the full 10800 cancellations.
+    assert sched.heap_size() <= max(2 * sched.pending(),
+                                    sched.pending() + COMPACT_MIN_CANCELLED)
+    assert sched.heap_rebuilds >= 1
+    assert sched.run() == len(live)
+    assert sched.pending() == 0 and sched.heap_size() == 0
+
+
+def test_perf_counters_roundtrip_and_merge():
+    first = perf.PerfCounters()
+    first.events_executed = 3
+    first.count_packet("data")
+    second = perf.PerfCounters()
+    second.events_executed = 4
+    second.count_packet("data")
+    second.count_packet("session")
+    second.merge(first)
+    snapshot = second.as_dict()
+    assert snapshot["events_executed"] == 7
+    assert snapshot["packets_by_kind"] == {"data": 2, "session": 1}
+    report = second.format_report(wall_s=0.5)
+    assert "events executed" in report and "events/sec" in report
+    second.reset()
+    assert second.as_dict()["events_executed"] == 0
+
+
+def test_cli_profile_flag_reports_to_stderr(capsys):
+    from repro.cli import main
+
+    assert main(["figure3", "--sims", "1", "--profile", "--no-cache"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 3a" in captured.out
+    assert "kernel profile" in captured.err
+    assert "events executed" in captured.err
+    # stdout stays clean: golden-output comparisons must keep working.
+    assert "kernel profile" not in captured.out
