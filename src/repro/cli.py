@@ -8,8 +8,16 @@ Usage::
     python -m repro figure13 [--runs 3] [--rounds 60]
     python -m repro robustness [--rounds 5]
     python -m repro congestion
+    python -m repro fuzz --rounds 100 --seed 7 --jobs 4
 
 Each command prints the same series its benchmark asserts against.
+
+``--check`` (available on every command) attaches the protocol oracles
+of :mod:`repro.oracle` to each simulation: every run is validated online
+against the paper's invariants, and any break aborts the command with a
+structured violation report and trace excerpts. ``repro fuzz`` hunts for
+violations in random scenarios and shrinks failures to minimized,
+seed-reproducible cases; see ``docs/oracles.md``.
 
 The figure sweeps execute on :class:`repro.runner.ExperimentRunner`:
 ``--jobs N`` fans independent rounds out to N worker processes,
@@ -23,6 +31,7 @@ in task order, never completion order.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -120,6 +129,19 @@ def _congestion(args) -> None:
     congestion.main()
 
 
+def _fuzz(args) -> None:
+    from repro.oracle.fuzz import format_fuzz_report, run_fuzz
+    from repro.runner import ExperimentRunner
+
+    runner = ExperimentRunner(jobs=args.jobs, manifest_path=args.manifest)
+    outcome = run_fuzz(rounds=args.rounds, seed=args.seed, runner=runner,
+                       shrink=not args.no_shrink, inject=args.inject,
+                       shrink_limit=args.shrink_limit)
+    print(format_fuzz_report(outcome))
+    if outcome["failures"]:
+        raise SystemExit(1)
+
+
 COMMANDS: Dict[str, Callable] = {
     "figure3": _figure3,
     "figure4": _figure4,
@@ -133,6 +155,7 @@ COMMANDS: Dict[str, Callable] = {
     "figure15": _figure15,
     "robustness": _robustness,
     "congestion": _congestion,
+    "fuzz": _fuzz,
 }
 
 #: Commands whose sweeps run on the ExperimentRunner and therefore take
@@ -161,6 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command")
     subparsers.add_parser("list", help="list available experiments")
     for name in COMMANDS:
+        if name == "fuzz":  # gets its own argument set below
+            continue
         defaults = DEFAULTS.get(name, {})
         sub = subparsers.add_parser(name, help=f"run {name}")
         sub.add_argument("--seed", type=int, default=None,
@@ -176,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "to stderr after the run (serial runs "
                               "report complete numbers; workers keep "
                               "their own counters)")
+        sub.add_argument("--check", action="store_true",
+                         help="attach the protocol oracles to every "
+                              "simulation; abort with a violation "
+                              "report on any invariant break")
         if name in RUNNER_COMMANDS:
             sub.add_argument("--jobs", type=int, default=1,
                              help="worker processes for the sweep "
@@ -187,6 +216,31 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(default: %(default)s)")
             sub.add_argument("--manifest", default=None, metavar="PATH",
                              help="append a JSONL run manifest here")
+    fuzz = subparsers.add_parser(
+        "fuzz", help="fuzz random scenarios against the protocol oracles")
+    fuzz.add_argument("--rounds", type=int, default=50,
+                      help="number of random scenarios (default: "
+                           "%(default)s)")
+    fuzz.add_argument("--seed", type=int, default=7,
+                      help="campaign seed; case N runs with seed "
+                           "seed + N * %d, so any failing case is "
+                           "reproducible via --rounds 1 --seed "
+                           "<case_seed> (default: %%(default)s)"
+                           % 1_000_003)
+    fuzz.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (1 = in-process serial)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failures as generated, skip "
+                           "minimization")
+    fuzz.add_argument("--shrink-limit", type=int, default=3,
+                      help="minimize at most this many failing cases")
+    fuzz.add_argument("--inject", default=None, metavar="BUG",
+                      choices=["no-holddown"],
+                      help="deliberately break an invariant inside the "
+                           "run (sanity-check that the oracles catch "
+                           "it)")
+    fuzz.add_argument("--manifest", default=None, metavar="PATH",
+                      help="append a JSONL run manifest here")
     return parser
 
 
@@ -194,10 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
 FIGURE_SEEDS = {"figure3": 3, "figure4": 4, "figure5": 5, "figure6": 6,
                 "figure7": 7, "figure8": 8, "figure12": 12,
                 "figure13": 13, "figure14": 4, "figure15": 15,
-                "robustness": 55, "congestion": 0}
+                "robustness": 55, "congestion": 0, "fuzz": 7}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.oracle.base import OracleViolationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
@@ -207,6 +263,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if getattr(args, "seed", None) is None:
         args.seed = FIGURE_SEEDS[args.command]
+    if getattr(args, "check", False):
+        # The environment variable (not a module flag) switches the mode
+        # on: runner worker processes inherit it, so parallel sweeps are
+        # checked too.
+        os.environ["SRM_CHECK"] = "1"
     profile = getattr(args, "profile", False)
     if profile:
         from repro.sim import perf
@@ -222,6 +283,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
         else:
             COMMANDS[args.command](args)
+    except OracleViolationError as exc:
+        # A protocol invariant broke under --check: show the structured
+        # report (with trace excerpts) and fail the command.
+        print(exc.report.format(), file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Output piped into e.g. `head`; exit quietly like other CLIs.
         try:

@@ -182,6 +182,10 @@ class SrmAgent(Agent):
         if self.group is not None:
             if self.session is not None:
                 self.session.stop()
+            # A departing member stops participating in loss recovery:
+            # pending request/repair timers would otherwise fire after
+            # ``self.group`` is gone and multicast into a None group.
+            self.reset_recovery_state()
             self.network.leave(self.node_id, self.group)
             self._joined_groups.discard(self.group)
             self.group = None
@@ -375,9 +379,12 @@ class SrmAgent(Agent):
         context.request_zone_used = self.config.request_scope_zone
         context.group = self._recovery_group_for(name)
         self._requests[name] = context
-        context.timer.start(self._draw_request_delay(name, 0))
+        delay = self._draw_request_delay(name, 0)
+        context.timer.start(delay)
         self.losses_detected += 1
         self.trace("loss_detected", name=name)
+        self.trace("request_timer_set", name=name, delay=delay, backoff=0,
+                   ignore_until=None)
 
     def _draw_request_delay(self, name: AduName, backoff_count: int) -> float:
         distance = max(self.distances.distance(name.source), 0.0)
@@ -435,6 +442,11 @@ class SrmAgent(Agent):
             context.ignore_backoff_until = self.now + delay / 2.0
         else:
             context.ignore_backoff_until = float("-inf")
+        self.trace("request_timer_set", name=context.name, delay=delay,
+                   backoff=context.backoff_count,
+                   ignore_until=(context.ignore_backoff_until
+                                 if self.config.ignore_backoff_enabled
+                                 else None))
 
     def _observe_request(self, context: RequestContext, requester: int,
                          reported_distance: float) -> None:
@@ -587,7 +599,7 @@ class SrmAgent(Agent):
             self.adaptive.record_repair_delay(ratio)
             self.adaptive.record_repair_sent()
         self.trace("send_repair", name=name, two_step=two_step,
-                   delay=delay, ratio=ratio)
+                   delay=delay, ratio=ratio, answering=context.requester)
         self._set_holddown(name, context.requester)
 
     def _observe_repair(self, context: RepairContext,
@@ -623,6 +635,8 @@ class SrmAgent(Agent):
     def _handle_repair(self, packet: Packet) -> None:
         payload: RepairPayload = packet.payload
         name = payload.name
+        self.trace("recv_repair", name=name, replier=payload.replier,
+                   answering=payload.answering)
         arrival_group = packet.dst if packet.dst != self.group else None
         repair_context = self._repairs.get(name)
         if repair_context is not None and not repair_context.done:
@@ -823,6 +837,10 @@ class SrmAgent(Agent):
         self._page_requests.clear()
         self._holddown.clear()
         self._last_repair_period_name = None
+        if self.network is not None:
+            # Online checkers key suppression state on (node, name); the
+            # reset marker tells them this node's slate is clean.
+            self.trace("recovery_reset")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<SrmAgent node={self.node_id} "

@@ -1,16 +1,23 @@
-"""SRM wire messages (packet payloads).
+"""SRM wire messages (packet payloads) and their wire codec.
 
 Four message kinds flow in an SRM session: original data, repair requests,
 repairs, and periodic session messages. Requests name data by its unique
 persistent :class:`~repro.core.names.AduName` and are addressed to the
 group, never to a specific sender — any member holding the data may answer
 (Section III-B).
+
+:func:`payload_to_wire` / :func:`payload_from_wire` round-trip any payload
+through a JSON-compatible dict (the simulation passes payload objects by
+reference for speed, but the codec pins down an interoperable external
+representation and is what a real transport would ship).
+:func:`packet_to_wire` / :func:`packet_from_wire` do the same for a whole
+packet including the TTL-scoping header.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.names import AduName, PageId
 
@@ -118,3 +125,177 @@ class SessionPayload:
     page: PageId
     page_state: Dict[Tuple[int, PageId], int] = field(default_factory=dict)
     echoes: Dict[int, SessionTimestamp] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+
+#: Bumped on any incompatible change to the wire layout.
+WIRE_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """A wire dict that cannot be decoded."""
+
+
+def _name_to_wire(name: AduName) -> List[int]:
+    return [name.source, name.page.creator, name.page.number, name.seq]
+
+
+def _name_from_wire(wire: Any) -> AduName:
+    try:
+        source, creator, number, seq = wire
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"bad ADU name encoding {wire!r}") from exc
+    return AduName(source, PageId(creator, number), seq)
+
+
+def _page_to_wire(page: PageId) -> List[int]:
+    return [page.creator, page.number]
+
+
+def _page_from_wire(wire: Any) -> PageId:
+    try:
+        creator, number = wire
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"bad page encoding {wire!r}") from exc
+    return PageId(creator, number)
+
+
+def _page_state_to_wire(page_state: Dict[Tuple[int, PageId], int]
+                        ) -> List[List[int]]:
+    # Sorted so equal payloads always encode to identical wire bytes.
+    return sorted([source, page.creator, page.number, seq]
+                  for (source, page), seq in page_state.items())
+
+
+def _page_state_from_wire(wire: Any) -> Dict[Tuple[int, PageId], int]:
+    state: Dict[Tuple[int, PageId], int] = {}
+    for row in wire:
+        try:
+            source, creator, number, seq = row
+        except (TypeError, ValueError) as exc:
+            raise WireFormatError(f"bad page-state row {row!r}") from exc
+        state[(source, PageId(creator, number))] = seq
+    return state
+
+
+def payload_to_wire(payload: Any) -> Dict[str, Any]:
+    """Encode a payload as a JSON-compatible dict tagged with its kind.
+
+    ``data`` fields are carried verbatim, so they must themselves be
+    JSON-compatible for the result to survive ``json.dumps``.
+    """
+    if isinstance(payload, DataPayload):
+        return {"kind": KIND_DATA, "name": _name_to_wire(payload.name),
+                "data": payload.data}
+    if isinstance(payload, RequestPayload):
+        return {"kind": KIND_REQUEST, "name": _name_to_wire(payload.name),
+                "requester": payload.requester,
+                "distance": payload.requester_distance_to_source}
+    if isinstance(payload, RepairPayload):
+        return {"kind": KIND_REPAIR, "name": _name_to_wire(payload.name),
+                "data": payload.data, "replier": payload.replier,
+                "answering": payload.answering,
+                "distance": payload.replier_distance_to_requester,
+                "local_step": payload.local_step}
+    if isinstance(payload, PageRequestPayload):
+        return {"kind": KIND_PAGE_REQUEST,
+                "page": _page_to_wire(payload.page),
+                "requester": payload.requester}
+    if isinstance(payload, PageReplyPayload):
+        return {"kind": KIND_PAGE_REPLY, "page": _page_to_wire(payload.page),
+                "replier": payload.replier,
+                "page_state": _page_state_to_wire(payload.page_state)}
+    if isinstance(payload, SessionPayload):
+        return {"kind": KIND_SESSION, "member": payload.member,
+                "sent_at": payload.sent_at,
+                "page": _page_to_wire(payload.page),
+                "page_state": _page_state_to_wire(payload.page_state),
+                "echoes": sorted([peer, echo.t1, echo.delta]
+                                 for peer, echo in payload.echoes.items())}
+    raise WireFormatError(f"not a wire payload: {payload!r}")
+
+
+def payload_from_wire(wire: Mapping[str, Any]) -> Any:
+    """Decode :func:`payload_to_wire`'s output back into a payload."""
+    try:
+        kind = wire["kind"]
+    except (TypeError, KeyError) as exc:
+        raise WireFormatError(f"payload wire dict without kind: {wire!r}"
+                              ) from exc
+    try:
+        if kind == KIND_DATA:
+            return DataPayload(name=_name_from_wire(wire["name"]),
+                               data=wire["data"])
+        if kind == KIND_REQUEST:
+            return RequestPayload(
+                name=_name_from_wire(wire["name"]),
+                requester=wire["requester"],
+                requester_distance_to_source=wire["distance"])
+        if kind == KIND_REPAIR:
+            return RepairPayload(
+                name=_name_from_wire(wire["name"]), data=wire["data"],
+                replier=wire["replier"], answering=wire["answering"],
+                replier_distance_to_requester=wire["distance"],
+                local_step=wire["local_step"])
+        if kind == KIND_PAGE_REQUEST:
+            return PageRequestPayload(page=_page_from_wire(wire["page"]),
+                                      requester=wire["requester"])
+        if kind == KIND_PAGE_REPLY:
+            return PageReplyPayload(
+                page=_page_from_wire(wire["page"]), replier=wire["replier"],
+                page_state=_page_state_from_wire(wire["page_state"]))
+        if kind == KIND_SESSION:
+            return SessionPayload(
+                member=wire["member"], sent_at=wire["sent_at"],
+                page=_page_from_wire(wire["page"]),
+                page_state=_page_state_from_wire(wire["page_state"]),
+                echoes={peer: SessionTimestamp(t1=t1, delta=delta)
+                        for peer, t1, delta in wire["echoes"]})
+    except KeyError as exc:
+        raise WireFormatError(
+            f"{kind} wire dict missing field {exc.args[0]!r}") from exc
+    raise WireFormatError(f"unknown payload kind {kind!r}")
+
+
+def packet_to_wire(packet: Any) -> Dict[str, Any]:
+    """Encode a whole packet: scoping header plus encoded payload."""
+    from repro.net.packet import GroupAddress, Packet
+
+    if not isinstance(packet, Packet):
+        raise WireFormatError(f"not a packet: {packet!r}")
+    dst = packet.dst
+    return {"v": WIRE_VERSION,
+            "origin": packet.origin,
+            "dst": ({"group": dst.gid, "label": dst.label}
+                    if isinstance(dst, GroupAddress) else {"node": dst}),
+            "ttl": packet.ttl,
+            "initial_ttl": packet.initial_ttl,
+            "size": packet.size,
+            "scope_zone": packet.scope_zone,
+            "uid": packet.uid,
+            "sent_at": packet.sent_at,
+            "payload": payload_to_wire(packet.payload)}
+
+
+def packet_from_wire(wire: Mapping[str, Any]) -> Any:
+    """Decode :func:`packet_to_wire`'s output back into a ``Packet``."""
+    from repro.net.packet import GroupAddress, Packet
+
+    version = wire.get("v")
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version!r}")
+    dst_wire = wire["dst"]
+    if "group" in dst_wire:
+        dst: Any = GroupAddress(gid=dst_wire["group"],
+                                label=dst_wire.get("label", ""))
+    else:
+        dst = dst_wire["node"]
+    payload = payload_from_wire(wire["payload"])
+    return Packet(origin=wire["origin"], dst=dst,
+                  kind=wire["payload"]["kind"], payload=payload,
+                  ttl=wire["ttl"], initial_ttl=wire["initial_ttl"],
+                  size=wire["size"], scope_zone=wire["scope_zone"],
+                  uid=wire["uid"], sent_at=wire["sent_at"])

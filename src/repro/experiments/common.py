@@ -21,6 +21,7 @@ from repro.core.stats import LossEventReport, analyze_loss_event
 from repro.net.link import NthPacketDropFilter
 from repro.net.network import Network
 from repro.net.packet import NodeId
+from repro.oracle.base import check_mode_enabled
 from repro.sim.rng import RandomSource
 from repro.topology.spec import TopologySpec
 
@@ -131,6 +132,11 @@ class LossRecoverySimulation:
             self.agents[member] = agent
         self.source_agent = self.agents[scenario.source]
         self.rounds_run = 0
+        self.oracle = None
+        if check_mode_enabled():
+            from repro.oracle import SessionOracleSuite
+            self.oracle = SessionOracleSuite.attach(self.network,
+                                                    agents=self.agents)
 
     # ------------------------------------------------------------------
 
@@ -154,6 +160,8 @@ class LossRecoverySimulation:
         network.clear_drop_filters()
         for agent in self.agents.values():
             agent.reset_recovery_state()
+        if self.oracle is not None:
+            self.oracle.reset()
         source = scenario.source
         drop_filter = NthPacketDropFilter(
             lambda packet: (packet.kind == "srm-data"
@@ -174,6 +182,10 @@ class LossRecoverySimulation:
         scheduler.schedule(trigger_gap, send_trigger)
         scheduler.run(max_events=ROUND_EVENT_LIMIT)
         self.rounds_run += 1
+        if self.oracle is not None:
+            # Raises OracleViolationError with trace excerpts on any
+            # invariant break observed this round.
+            self.oracle.verify(context=f"round {self.rounds_run}")
 
         name = sent[0]
         report = analyze_loss_event(network.trace, name)

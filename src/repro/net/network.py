@@ -78,6 +78,10 @@ class Network:
             Tuple[SourceTree, int, int, int, Tuple[PlanEntry, ...], int]] = {}
         self._zone_version = 0
         self._filter_version = 0
+        #: When True (and tracing is enabled), every packet handed to a
+        #: node emits a "deliver" trace record. Off by default: delivery
+        #: is the hottest path and check mode (repro.oracle) opts in.
+        self.trace_deliveries = False
         self.perf = perf.GLOBAL
 
     # ------------------------------------------------------------------
@@ -522,13 +526,13 @@ class Network:
     def _multicast_arrive(self, at: NodeId, packet: Packet,
                           tree: SourceTree) -> None:
         if self.groups.is_member(at, packet.dst):  # type: ignore[arg-type]
-            self.nodes[at].deliver(packet)
+            self._deliver(at, packet)
         self._multicast_forward(at, packet, tree)
 
     def _unicast_hop(self, at: NodeId, packet: Packet) -> None:
         dst: NodeId = packet.dst  # type: ignore[assignment]
         if at == dst:
-            self.nodes[at].deliver(packet)
+            self._deliver(at, packet)
             return
         tree = self.source_tree(at)
         next_hop = tree.next_hop_toward(dst)
@@ -558,6 +562,13 @@ class Network:
     # ------------------------------------------------------------------
 
     def _deliver(self, node_id: NodeId, packet: Packet) -> None:
+        if self.trace_deliveries and self.trace.enabled:
+            self.trace.record(self.scheduler.now, node_id, "deliver",
+                              packet=packet.uid, packet_kind=packet.kind,
+                              origin=packet.origin, ttl=packet.ttl,
+                              initial_ttl=packet.initial_ttl,
+                              zone=packet.scope_zone,
+                              mcast=packet.dst.__class__ is GroupAddress)
         self.nodes[node_id].deliver(packet)
 
     def _deliver_many(self, members: Tuple[NodeId, ...],

@@ -102,3 +102,21 @@ class Trace:
         """Human-readable rendering (for examples and debugging)."""
         rows = self.records if limit is None else self.records[:limit]
         return "\n".join(str(row) for row in rows)
+
+    def excerpt(self, around: float, window: float = 5.0,
+                predicate: Optional[Callable[[TraceRecord], bool]] = None,
+                limit: int = 40) -> list[TraceRecord]:
+        """Records within ``around +/- window``, for violation reports.
+
+        ``predicate`` narrows the excerpt to the relevant rows (e.g. one
+        ADU name); ``limit`` keeps reports bounded on dense traces, keeping
+        the rows closest to ``around``.
+        """
+        low, high = around - window, around + window
+        rows = [row for row in self.records
+                if low <= row.time <= high
+                and (predicate is None or predicate(row))]
+        if len(rows) > limit:
+            rows.sort(key=lambda row: abs(row.time - around))
+            rows = sorted(rows[:limit], key=lambda row: row.time)
+        return rows

@@ -1,7 +1,14 @@
-"""Cross-cutting invariant property tests (hypothesis)."""
+"""Cross-cutting invariant property tests (hypothesis).
+
+Example counts and deadlines come from the shared profiles in
+``conftest`` (``SRM_HYPOTHESIS_PROFILE=ci|dev|nightly``); each test
+declares only its ``ci`` baseline via ``examples(n)``.
+"""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from conftest import examples
 
 from repro.core.stats import quantiles
 from repro.core.transmit import TokenBucket, TransmitQueue
@@ -12,14 +19,14 @@ from repro.sim.scheduler import EventScheduler
 # Quantiles
 # ----------------------------------------------------------------------
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=examples(100))
 @given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
 def test_quantiles_are_ordered_and_bounded(values):
     q1, median, q3 = quantiles(values)
     assert min(values) <= q1 <= median <= q3 <= max(values)
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=examples(50))
 @given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
        shift=st.floats(-100, 100))
 def test_quantiles_are_shift_equivariant(values, shift):
@@ -33,7 +40,7 @@ def test_quantiles_are_shift_equivariant(values, shift):
 # Token bucket: long-run rate conformance
 # ----------------------------------------------------------------------
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=examples(30))
 @given(rate=st.floats(1.0, 1000.0), depth=st.floats(1.0, 5000.0),
        sizes=st.lists(st.floats(1.0, 2000.0), min_size=1, max_size=40))
 def test_bucket_never_exceeds_rate_plus_burst(rate, depth, sizes):
@@ -53,7 +60,7 @@ def test_bucket_never_exceeds_rate_plus_burst(rate, depth, sizes):
         assert accepted <= depth + rate * clock + 1e-6
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=examples(30))
 @given(sizes=st.lists(st.floats(1.0, 500.0), min_size=1, max_size=30),
        priorities=st.lists(st.integers(0, 2), min_size=1, max_size=30))
 def test_transmit_queue_delivers_everything_exactly_once(sizes, priorities):
@@ -69,7 +76,7 @@ def test_transmit_queue_delivers_everything_exactly_once(sizes, priorities):
     assert len(queue) == 0
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=examples(30))
 @given(sizes=st.lists(st.floats(1.0, 500.0), min_size=2, max_size=30))
 def test_transmit_queue_respects_rate(sizes):
     """The pacer's output, after the initial burst, conforms to the

@@ -1,0 +1,216 @@
+"""Wire-codec round-trip property tests (hypothesis).
+
+Every payload type must survive serialize → JSON text → parse → equal,
+including boundary TTLs (0 and 255) and the paper's "sufficient
+precision to never wrap" names (huge Python ints).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import (
+    KIND_DATA,
+    DataPayload,
+    PageReplyPayload,
+    PageRequestPayload,
+    RepairPayload,
+    RequestPayload,
+    SessionPayload,
+    SessionTimestamp,
+    WIRE_VERSION,
+    WireFormatError,
+    packet_from_wire,
+    packet_to_wire,
+    payload_from_wire,
+    payload_to_wire,
+)
+from repro.core.names import AduName, PageId
+from repro.net.packet import DEFAULT_TTL, GroupAddress, Packet
+
+from conftest import examples
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+# Source ids and sequence numbers are unbounded Python ints by design
+# ("sufficient precision to never wrap"): exercise genuinely huge ones.
+node_ids = st.integers(min_value=0, max_value=2**256)
+seqs = st.integers(min_value=1, max_value=2**256)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+pages = st.builds(PageId, creator=node_ids, number=st.integers(0, 2**64))
+names = st.builds(AduName, source=node_ids, page=pages, seq=seqs)
+
+# Payload ``data`` travels verbatim, so it must be JSON-compatible.
+json_data = st.recursive(
+    st.none() | st.booleans() | st.integers(-2**63, 2**63) | finite_floats
+    | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=10)
+
+page_states = st.dictionaries(st.tuples(node_ids, pages),
+                              st.integers(0, 2**64), max_size=5)
+
+data_payloads = st.builds(DataPayload, name=names, data=json_data)
+request_payloads = st.builds(
+    RequestPayload, name=names, requester=node_ids,
+    requester_distance_to_source=finite_floats)
+repair_payloads = st.builds(
+    RepairPayload, name=names, data=json_data, replier=node_ids,
+    answering=st.none() | node_ids,
+    replier_distance_to_requester=finite_floats,
+    local_step=st.booleans())
+page_request_payloads = st.builds(PageRequestPayload, page=pages,
+                                  requester=node_ids)
+page_reply_payloads = st.builds(PageReplyPayload, page=pages,
+                                replier=node_ids, page_state=page_states)
+session_payloads = st.builds(
+    SessionPayload, member=node_ids, sent_at=finite_floats, page=pages,
+    page_state=page_states,
+    echoes=st.dictionaries(
+        node_ids, st.builds(SessionTimestamp, t1=finite_floats,
+                            delta=finite_floats), max_size=5))
+
+any_payload = st.one_of(data_payloads, request_payloads, repair_payloads,
+                        page_request_payloads, page_reply_payloads,
+                        session_payloads)
+
+
+def roundtrip(payload):
+    """serialize → JSON text → parse, the full external path."""
+    return payload_from_wire(json.loads(json.dumps(payload_to_wire(payload))))
+
+
+# ----------------------------------------------------------------------
+# Payload round-trips — one test per message type, plus the union
+# ----------------------------------------------------------------------
+
+@settings(max_examples=examples(50))
+@given(payload=data_payloads)
+def test_data_payload_roundtrip(payload):
+    assert roundtrip(payload) == payload
+
+
+@settings(max_examples=examples(50))
+@given(payload=request_payloads)
+def test_request_payload_roundtrip(payload):
+    assert roundtrip(payload) == payload
+
+
+@settings(max_examples=examples(50))
+@given(payload=repair_payloads)
+def test_repair_payload_roundtrip(payload):
+    assert roundtrip(payload) == payload
+
+
+@settings(max_examples=examples(50))
+@given(payload=page_request_payloads)
+def test_page_request_payload_roundtrip(payload):
+    assert roundtrip(payload) == payload
+
+
+@settings(max_examples=examples(50))
+@given(payload=page_reply_payloads)
+def test_page_reply_payload_roundtrip(payload):
+    assert roundtrip(payload) == payload
+
+
+@settings(max_examples=examples(50))
+@given(payload=session_payloads)
+def test_session_payload_roundtrip(payload):
+    assert roundtrip(payload) == payload
+
+
+@settings(max_examples=examples(50))
+@given(payload=any_payload)
+def test_wire_encoding_is_deterministic(payload):
+    """Equal payloads produce byte-identical wire text (dict ordering
+    and page-state/echo row ordering are pinned down)."""
+    assert (json.dumps(payload_to_wire(payload), sort_keys=True)
+            == json.dumps(payload_to_wire(roundtrip(payload)),
+                          sort_keys=True))
+
+
+# ----------------------------------------------------------------------
+# Packet round-trips, boundary TTLs included
+# ----------------------------------------------------------------------
+
+@settings(max_examples=examples(50))
+@given(payload=any_payload,
+       ttl=st.one_of(st.just(0), st.just(DEFAULT_TTL),
+                     st.integers(0, DEFAULT_TTL)),
+       origin=node_ids,
+       group=st.booleans(),
+       zone=st.none() | st.text(max_size=10))
+def test_packet_roundtrip(payload, ttl, origin, group, zone):
+    dst = GroupAddress(7, "session") if group else 42
+    packet = Packet(origin=origin, dst=dst,
+                    kind=payload_to_wire(payload)["kind"], payload=payload,
+                    ttl=ttl, size=123, scope_zone=zone)
+    decoded = packet_from_wire(
+        json.loads(json.dumps(packet_to_wire(packet))))
+    assert decoded.origin == packet.origin
+    assert decoded.dst == packet.dst
+    assert decoded.kind == packet.kind
+    assert decoded.payload == packet.payload
+    assert decoded.ttl == packet.ttl == ttl
+    assert decoded.initial_ttl == packet.initial_ttl
+    assert decoded.size == packet.size
+    assert decoded.scope_zone == packet.scope_zone
+    assert decoded.uid == packet.uid
+    assert decoded.hops_travelled() == packet.hops_travelled()
+
+
+def test_forwarded_packet_keeps_initial_ttl_on_the_wire():
+    packet = Packet(origin=1, dst=GroupAddress(3), kind=KIND_DATA,
+                    payload=DataPayload(AduName(1, PageId(0, 0), 1), "x"),
+                    ttl=5)
+    hopped = packet.forwarded_copy().forwarded_copy()
+    decoded = packet_from_wire(packet_to_wire(hopped))
+    assert decoded.ttl == 3
+    assert decoded.initial_ttl == 5
+    assert decoded.hops_travelled() == 2
+
+
+# ----------------------------------------------------------------------
+# Malformed input
+# ----------------------------------------------------------------------
+
+def test_unknown_kind_is_rejected():
+    with pytest.raises(WireFormatError):
+        payload_from_wire({"kind": "srm-bogus"})
+
+
+def test_missing_field_is_rejected():
+    wire = payload_to_wire(RequestPayload(AduName(1, PageId(0, 0), 1), 2))
+    del wire["requester"]
+    with pytest.raises(WireFormatError):
+        payload_from_wire(wire)
+
+
+def test_bad_name_encoding_is_rejected():
+    wire = payload_to_wire(DataPayload(AduName(1, PageId(0, 0), 1), "x"))
+    wire["name"] = [1, 2]
+    with pytest.raises(WireFormatError):
+        payload_from_wire(wire)
+
+
+def test_non_payload_is_rejected():
+    with pytest.raises(WireFormatError):
+        payload_to_wire(object())
+
+
+def test_wrong_wire_version_is_rejected():
+    packet = Packet(origin=1, dst=4, kind=KIND_DATA,
+                    payload=DataPayload(AduName(1, PageId(0, 0), 1), "x"))
+    wire = packet_to_wire(packet)
+    wire["v"] = WIRE_VERSION + 1
+    with pytest.raises(WireFormatError):
+        packet_from_wire(wire)

@@ -20,10 +20,10 @@ from repro.net.link import BernoulliDropFilter, NthPacketDropFilter
 from repro.sim.rng import RandomSource
 from repro.topology.random_tree import random_labeled_tree
 
-from conftest import build_srm_session
+from conftest import build_srm_session, examples
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=examples(25))
 @given(data=st.data())
 def test_reliability_under_random_single_link_drops(data):
     """Drop the first k data packets on a random tree link; every member
@@ -61,7 +61,7 @@ def test_reliability_under_random_single_link_drops(data):
             assert agents[member].store.get(name) == f"p{seq - 1}"
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=examples(15))
 @given(seed=st.integers(0, 10_000))
 def test_reliability_with_lossy_control_channel(seed):
     """Even when requests and repairs can themselves be dropped, the
@@ -92,7 +92,7 @@ def test_reliability_with_lossy_control_channel(seed):
         assert agents[member].store.have(name) or abandoned > 0
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=examples(10))
 @given(seed=st.integers(0, 1_000))
 def test_same_seed_reproduces_identical_traces(seed):
     def run_once():
@@ -111,7 +111,7 @@ def test_same_seed_reproduces_identical_traces(seed):
     assert run_once() == run_once()
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=examples(15))
 @given(seed=st.integers(0, 10_000), n=st.integers(5, 16))
 def test_no_member_ever_stores_corrupted_data(seed, n):
     """Repairs carry the original bytes: all copies are identical."""
