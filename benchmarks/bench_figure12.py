@@ -24,7 +24,7 @@ def test_figure12(once):
         scenario = find_adversarial_scenario(candidates=40,
                                              probe_rounds=3)
         return run_rounds_experiment(scenario, adaptive=False,
-                                     num_runs=runs, num_rounds=rounds,
+                                     runs=runs, rounds=rounds,
                                      seed=12)
 
     result = once(experiment)

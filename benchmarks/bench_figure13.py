@@ -24,10 +24,10 @@ def test_figure13(once):
         scenario = find_adversarial_scenario(candidates=40,
                                              probe_rounds=3)
         fixed = run_rounds_experiment(scenario, adaptive=False,
-                                      num_runs=runs, num_rounds=rounds,
+                                      runs=runs, rounds=rounds,
                                       seed=12)
         adaptive = run_rounds_experiment(scenario, adaptive=True,
-                                         num_runs=runs, num_rounds=rounds,
+                                         runs=runs, rounds=rounds,
                                          seed=13)
         return fixed, adaptive
 

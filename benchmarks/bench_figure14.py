@@ -18,9 +18,9 @@ def test_figure14(once, bench_runner):
     rounds = scale(25, 40)
 
     def experiment():
-        fixed = run_figure4(sizes=sizes, sims_per_size=sims, seed=4,
+        fixed = run_figure4(sizes=sizes, sims=sims, seed=4,
                             runner=bench_runner)
-        adaptive = run_figure14(sizes=sizes, sims_per_size=sims,
+        adaptive = run_figure14(sizes=sizes, sims=sims,
                                 rounds=rounds, seed=4,
                                 runner=bench_runner)
         return fixed, adaptive

@@ -19,10 +19,10 @@ def test_figure15(once, bench_runner):
     nodes = scale(500, 1000)
 
     def experiment():
-        two = run_figure15(sizes=sizes, sims_per_size=sims,
+        two = run_figure15(sizes=sizes, sims=sims,
                            num_nodes=nodes, mode="two-step", seed=15,
                            runner=bench_runner)
-        one = run_figure15(sizes=sizes, sims_per_size=sims,
+        one = run_figure15(sizes=sizes, sims=sims,
                            num_nodes=nodes, mode="one-step", seed=15,
                            runner=bench_runner)
         return two, one

@@ -13,7 +13,7 @@ from conftest import scale
 def test_figure3(once, bench_runner):
     sizes = (10, 20, 40, 60, 80, 100) if scale(0, 1) else (10, 30, 60)
     sims = scale(8, 20)
-    result = once(run_figure3, sizes=sizes, sims_per_size=sims, seed=3,
+    result = once(run_figure3, sizes=sizes, sims=sims, seed=3,
                   runner=bench_runner)
 
     print()

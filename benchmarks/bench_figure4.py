@@ -14,7 +14,7 @@ from conftest import scale
 def test_figure4(once, bench_runner):
     sizes = (20, 40, 60, 80, 100) if scale(0, 1) else (20, 60)
     sims = scale(8, 20)
-    result = once(run_figure4, sizes=sizes, sims_per_size=sims, seed=4,
+    result = once(run_figure4, sizes=sizes, sims=sims, seed=4,
                   runner=bench_runner)
 
     print()

@@ -15,7 +15,7 @@ def test_figure5(once, bench_runner):
     group_size = scale(50, 100)
     c2_values = (0, 4, 10, 20, 40, 100) if scale(0, 1) else (2, 10, 40)
     sims = scale(10, 20)
-    result = once(run_figure5, c2_values=c2_values, sims_per_value=sims,
+    result = once(run_figure5, c2_values=c2_values, sims=sims,
                   group_size=group_size, seed=5, runner=bench_runner)
 
     print()

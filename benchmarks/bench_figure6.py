@@ -15,7 +15,7 @@ def test_figure6(once, bench_runner):
     hops = (1, 2, 5, 10)
     sims = scale(8, 20)
     result = once(run_figure6, c2_values=c2_values, failure_hops=hops,
-                  sims_per_value=sims, chain_length=scale(60, 100), seed=6,
+                  sims=sims, chain_length=scale(60, 100), seed=6,
                   runner=bench_runner)
 
     print()

@@ -15,7 +15,7 @@ def test_figure7(once, bench_runner):
         else (0, 2, 8, 20, 100)
     sims = scale(10, 20)
     result = once(run_figure7, c2_values=c2_values, hops_values=(1, 2, 3, 4),
-                  sims_per_value=sims, num_nodes=scale(85, 120), seed=7,
+                  sims=sims, num_nodes=scale(85, 120), seed=7,
                   runner=bench_runner)
 
     print()

@@ -15,7 +15,7 @@ def test_figure8(once, bench_runner):
         else (0, 2, 8, 30, 100)
     sims = scale(6, 20)
     result = once(run_figure8, c2_values=c2_values, hops_values=(1, 2),
-                  sims_per_value=sims, num_nodes=scale(300, 1000),
+                  sims=sims, num_nodes=scale(300, 1000),
                   session_size=scale(40, 100), seed=8, runner=bench_runner)
 
     print()

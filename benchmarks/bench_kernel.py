@@ -19,21 +19,29 @@ per-bench speedups; committing the result keeps the repo's perf history
 in one file. The workloads are seeded and deterministic — only the
 wall-clock varies between machines.
 
-The JSON schema (``bench-kernel/v1``)::
+The JSON schema (``bench-kernel/v2``)::
 
     {
-      "schema": "bench-kernel/v1",
+      "schema": "bench-kernel/v2",
       "python": "3.11.7",
       "created": "2026-08-05T12:00:00",
       "benches": {
         "<name>": {"wall_s": float,      # best-of-N wall clock
                     "events": int,        # scheduler events executed
                     "events_per_s": float,
+                    "kernel": {...},      # repro.sim.perf counter deltas,
+                                          # same shape as a RunMetrics
+                                          # bundle's "kernel" section
                     "meta": {...}},       # workload-specific facts
       },
       "baseline": {... same shape, from --compare ...},
       "speedup_vs_baseline": {"<name>": float}   # old wall / new wall
     }
+
+v2 adds the per-bench ``kernel`` section (``docs/metrics.md``): the
+deterministic counter deltas that explain a wall-clock movement —
+events scheduled vs executed, heap peaks, plan-cache hits, arrival
+copies. v1 files are still accepted by ``--compare``.
 """
 
 from __future__ import annotations
@@ -221,9 +229,17 @@ def _bench_set(quick: bool) -> Dict[str, BenchFn]:
 
 
 def run_bench(fn: BenchFn, repeat: int) -> dict:
-    """Best-of-``repeat`` wall clock around one workload."""
+    """Best-of-``repeat`` wall clock around one workload.
+
+    Each attempt also captures the :mod:`repro.sim.perf` counter deltas
+    (via the same snapshot helpers the metrics collector uses), so the
+    committed JSON explains *why* a wall-clock number moved.
+    """
+    from repro.metrics.collector import _perf_delta, _perf_snapshot
+
     best: Optional[dict] = None
     for _ in range(repeat):
+        before = _perf_snapshot()
         start = time.perf_counter()
         events, meta = fn()
         wall = time.perf_counter() - start
@@ -232,6 +248,7 @@ def run_bench(fn: BenchFn, repeat: int) -> dict:
                 "wall_s": round(wall, 6),
                 "events": events,
                 "events_per_s": round(events / wall) if wall > 0 else None,
+                "kernel": _perf_delta(before, _perf_snapshot()),
                 "meta": meta,
             }
     assert best is not None
@@ -261,7 +278,7 @@ def main(argv: Optional[list] = None) -> int:
               f"{row['events_per_s'] or 0:>9} ev/s")
 
     payload = {
-        "schema": "bench-kernel/v1",
+        "schema": "bench-kernel/v2",
         "python": platform.python_version(),
         "created": datetime.datetime.now().isoformat(timespec="seconds"),
         "quick": args.quick,

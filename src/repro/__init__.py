@@ -16,7 +16,10 @@ Layers (bottom up):
 * :mod:`repro.analysis` — Section IV closed forms
 * :mod:`repro.runner` — parallel experiment execution, result cache,
   run manifests
-* :mod:`repro.experiments` — one driver per figure of the evaluation
+* :mod:`repro.metrics` — the observability layer: per-run metric
+  bundles, reports, regression comparison
+* :mod:`repro.experiments` — one driver per figure of the evaluation,
+  behind the ``ExperimentSpec -> run_experiment -> RunResult`` API
 
 Quickstart::
 
@@ -38,13 +41,15 @@ Quickstart::
 from repro.core.agent import SrmAgent
 from repro.core.config import AdaptiveBounds, SrmConfig, TimerParams
 from repro.core.names import AduName, PageId
+from repro.experiments.common import ExperimentSpec, RunResult, Scenario
+from repro.metrics.bundle import RunMetrics
 from repro.net.network import Network
 from repro.net.packet import GroupAddress, Packet
 from repro.sim.rng import RandomSource
 from repro.sim.scheduler import EventScheduler
 from repro.sim.trace import Trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SrmAgent",
@@ -59,5 +64,9 @@ __all__ = [
     "RandomSource",
     "EventScheduler",
     "Trace",
+    "ExperimentSpec",
+    "RunResult",
+    "RunMetrics",
+    "Scenario",
     "__version__",
 ]

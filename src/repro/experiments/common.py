@@ -11,13 +11,16 @@ units of each member's RTT to the source.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.agent import SrmAgent
 from repro.core.config import SrmConfig
 from repro.core.names import AduName
-from repro.core.stats import LossEventReport, analyze_loss_event
+from repro.metrics.bundle import RunMetrics
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.events import LossEventReport, analyze_loss_event
 from repro.net.link import NthPacketDropFilter
 from repro.net.network import Network
 from repro.net.packet import NodeId
@@ -132,6 +135,11 @@ class LossRecoverySimulation:
             self.agents[member] = agent
         self.source_agent = self.agents[scenario.source]
         self.rounds_run = 0
+        self.collector = MetricsCollector(
+            control_packet_size=self.config.control_packet_size
+        ).attach(self.network.trace)
+        #: RunMetrics bundle of the most recently completed round.
+        self.last_round_metrics: Optional[RunMetrics] = None
         self.oracle = None
         if check_mode_enabled():
             from repro.oracle import SessionOracleSuite
@@ -157,6 +165,7 @@ class LossRecoverySimulation:
         drop_edge = drop_edge if drop_edge is not None else scenario.drop_edge
         network = self.network
         network.trace.clear()
+        self.collector.begin_round()
         network.clear_drop_filters()
         for agent in self.agents.values():
             agent.reset_recovery_state()
@@ -189,6 +198,11 @@ class LossRecoverySimulation:
 
         name = sent[0]
         report = analyze_loss_event(network.trace, name)
+        if self.oracle is not None:
+            # Same gate as the protocol oracles: the streaming metrics
+            # aggregation must match a full offline pass over the trace.
+            self.collector.verify(network.trace)
+        self.last_round_metrics = self.collector.snapshot(rounds=1)
         return self._outcome(report, name)
 
     def _outcome(self, report: LossEventReport,
@@ -219,11 +233,110 @@ class LossRecoverySimulation:
         return min(timing.ratio for timing in at_minimum)
 
 
+def _deprecated_kwarg(value, legacy, new_name: str, old_name: str):
+    """Resolve a renamed keyword argument, warning when the old name is used.
+
+    The unified API spells the sweep-width keyword ``sims`` and the
+    round-count keywords ``runs``/``rounds`` everywhere; the drifting
+    per-figure names (``sims_per_size``, ``sims_per_value``, ``num_runs``,
+    ``num_rounds``) remain accepted, keyword-only, for one deprecation
+    cycle.
+    """
+    if legacy is None:
+        return value
+    warnings.warn(f"{old_name}= is deprecated; use {new_name}=",
+                  DeprecationWarning, stacklevel=3)
+    return legacy
+
+
+@dataclass
+class ExperimentSpec:
+    """One declarative unit of experiment work: what to run, fully.
+
+    This is the single currency every figure trades in: a scenario
+    (topology + membership + congested link), an :class:`SrmConfig`, a
+    round count, a seed and a delivery engine. A spec is pure picklable
+    data — it travels to runner workers, fingerprints into the result
+    cache, and executes anywhere via :func:`run_experiment`.
+
+    ``kind="recovery"`` (the default) runs the loss-recovery simulation;
+    ``kind="scoped"`` evaluates the analytic TTL-scoped recovery of
+    Fig. 15 (``scoped_mode`` chooses one-step vs two-step repairs), which
+    has no simulated rounds and therefore no metrics bundle.
+    """
+
+    scenario: Scenario
+    config: Optional[SrmConfig] = None
+    rounds: int = 1
+    seed: int = 0
+    engine: str = "direct"
+    experiment: str = ""
+    kind: str = "recovery"       # "recovery" | "scoped"
+    scoped_mode: Optional[str] = None
+    trigger_gap: float = 1.0
+
+
+@dataclass
+class RunResult:
+    """What one executed :class:`ExperimentSpec` produced.
+
+    ``outcomes`` holds every round's :class:`RoundOutcome` in order;
+    ``metrics`` is the merged :class:`~repro.metrics.bundle.RunMetrics`
+    over those rounds (None for analytic kinds); ``artifacts`` carries
+    anything kind-specific (the scoped-recovery evaluation, for one).
+    """
+
+    spec: ExperimentSpec
+    outcomes: List[RoundOutcome] = field(default_factory=list)
+    metrics: Optional[RunMetrics] = None
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def outcome(self) -> RoundOutcome:
+        """The final round (the only round, for the one-shot figures)."""
+        return self.outcomes[-1]
+
+
+def run_experiment(spec: ExperimentSpec) -> RunResult:
+    """Execute one spec: the sole entry point every figure runs through."""
+    if spec.kind == "scoped":
+        return _run_scoped(spec)
+    if spec.kind != "recovery":
+        raise ValueError(f"unknown experiment kind {spec.kind!r}")
+    simulation = LossRecoverySimulation(spec.scenario, config=spec.config,
+                                        seed=spec.seed, delivery=spec.engine)
+    outcomes: List[RoundOutcome] = []
+    bundles: List[Optional[RunMetrics]] = []
+    for _ in range(spec.rounds):
+        outcomes.append(simulation.run_round(trigger_gap=spec.trigger_gap))
+        bundles.append(simulation.last_round_metrics)
+    metrics = RunMetrics.merged(bundles, experiment=spec.experiment)
+    metrics.meta.update({
+        "seed": spec.seed,
+        "engine": spec.engine,
+        "session_size": spec.scenario.session_size,
+        "adaptive": simulation.config.adaptive,
+    })
+    return RunResult(spec=spec, outcomes=outcomes, metrics=metrics)
+
+
+def _run_scoped(spec: ExperimentSpec) -> RunResult:
+    from repro.core.local import ideal_scoped_recovery
+
+    scenario = spec.scenario
+    network = scenario.spec.build()
+    evaluation = ideal_scoped_recovery(
+        network, scenario.source, scenario.drop_edge[0],
+        scenario.drop_edge[1], scenario.members,
+        mode=spec.scoped_mode or "two-step")
+    return RunResult(spec=spec, artifacts={"scoped": evaluation})
+
+
 def run_single_round(scenario: Scenario, config: Optional[SrmConfig] = None,
                      seed: int = 0) -> RoundOutcome:
     """Convenience for the one-round figures (3-8)."""
-    simulation = LossRecoverySimulation(scenario, config=config, seed=seed)
-    return simulation.run_round()
+    return run_experiment(ExperimentSpec(
+        scenario=scenario, config=config, seed=seed)).outcome
 
 
 def run_rounds(scenario: Scenario, config: Optional[SrmConfig] = None,
@@ -235,8 +348,8 @@ def run_rounds(scenario: Scenario, config: Optional[SrmConfig] = None,
     statistically equivalent to N one-round simulations — but reuse the
     topology, routing caches and agents, which is much faster.
     """
-    simulation = LossRecoverySimulation(scenario, config=config, seed=seed)
-    return [simulation.run_round() for _ in range(rounds)]
+    return run_experiment(ExperimentSpec(
+        scenario=scenario, config=config, rounds=rounds, seed=seed)).outcomes
 
 
 @dataclass

@@ -14,13 +14,24 @@ rounds, with a small reduction in delay as well.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.config import SrmConfig
-from repro.core.stats import quantiles
-from repro.experiments.common import LossRecoverySimulation, Scenario
+from repro.experiments.common import (
+    ExperimentSpec,
+    LossRecoverySimulation,
+    Scenario,
+    _deprecated_kwarg,
+    run_experiment,
+)
 from repro.experiments.figure4 import figure4_scenarios
+from repro.metrics.bundle import RunMetrics
+from repro.metrics.events import quantiles
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner import ExperimentRunner
 
 NUM_RUNS = 10
 NUM_ROUNDS = 100
@@ -39,7 +50,7 @@ def find_adversarial_scenario(seed: int = 4, session_size: int = SESSION_SIZE,
     (duplicate repairs break ties).
     """
     scenarios = figure4_scenarios(sizes=(session_size,),
-                                  sims_per_size=candidates, seed=seed)
+                                  sims=candidates, seed=seed)
     worst = None
     worst_score = (-1.0, -1.0)
     for index, scenario in enumerate(scenarios):
@@ -60,13 +71,26 @@ class RoundsResult:
     """Per-round distributions over the ten runs."""
 
     adaptive: bool
-    num_runs: int
-    num_rounds: int
+    runs: int
+    rounds: int
     #: requests[run][round], repairs[run][round], delays[run][round]
     requests: List[List[int]]
     repairs: List[List[int]]
     delays: List[List[float]]
     label: str = ""
+    metrics: Optional[RunMetrics] = None
+
+    @property
+    def num_runs(self) -> int:
+        warnings.warn("num_runs is deprecated; use runs",
+                      DeprecationWarning, stacklevel=2)
+        return self.runs
+
+    @property
+    def num_rounds(self) -> int:
+        warnings.warn("num_rounds is deprecated; use rounds",
+                      DeprecationWarning, stacklevel=2)
+        return self.rounds
 
     def round_request_quartiles(self, round_index: int):
         values = [float(run[round_index]) for run in self.requests]
@@ -106,10 +130,10 @@ class RoundsResult:
     def format_table(self, every: int = 10) -> str:
         title = "Figure 13 (adaptive)" if self.adaptive else \
             "Figure 12 (nonadaptive)"
-        lines = [f"{title}: {self.num_runs} runs x {self.num_rounds} rounds",
+        lines = [f"{title}: {self.runs} runs x {self.rounds} rounds",
                  f"{'round':>6} {'req q1':>7} {'req med':>8} {'req q3':>7} "
                  f"{'rep med':>8} {'delay med':>10}"]
-        for round_index in range(0, self.num_rounds, every):
+        for round_index in range(0, self.rounds, every):
             rq1, rmed, rq3 = self.round_request_quartiles(round_index)
             _, pmed, _ = self.round_repair_quartiles(round_index)
             _, dmed, _ = self.round_delay_quartiles(round_index)
@@ -119,57 +143,73 @@ class RoundsResult:
 
 
 def run_rounds_experiment(scenario: Scenario, adaptive: bool,
-                          num_runs: int = NUM_RUNS,
-                          num_rounds: int = NUM_ROUNDS,
-                          seed: int = 12) -> RoundsResult:
+                          runs: int = NUM_RUNS,
+                          rounds: int = NUM_ROUNDS,
+                          seed: int = 12,
+                          runner: Optional["ExperimentRunner"] = None,
+                          *, num_runs: Optional[int] = None,
+                          num_rounds: Optional[int] = None) -> RoundsResult:
     """Ten runs of 100 rounds; same scenario, different RNG seeds per run."""
-    requests: List[List[int]] = []
-    repairs: List[List[int]] = []
-    delays: List[List[float]] = []
-    for run_index in range(num_runs):
-        config = SrmConfig(adaptive=adaptive)
-        simulation = LossRecoverySimulation(
-            scenario, config=config, seed=seed * 1009 + run_index)
-        run_requests: List[int] = []
-        run_repairs: List[int] = []
-        run_delays: List[float] = []
-        for _ in range(num_rounds):
-            outcome = simulation.run_round()
-            run_requests.append(outcome.requests)
-            run_repairs.append(outcome.repairs)
-            run_delays.append(outcome.last_member_ratio)
-        requests.append(run_requests)
-        repairs.append(run_repairs)
-        delays.append(run_delays)
-    return RoundsResult(adaptive=adaptive, num_runs=num_runs,
-                        num_rounds=num_rounds, requests=requests,
-                        repairs=repairs, delays=delays)
+    from repro.runner import ExperimentRunner
+
+    runs = _deprecated_kwarg(runs, num_runs, "runs", "num_runs")
+    rounds = _deprecated_kwarg(rounds, num_rounds, "rounds", "num_rounds")
+    runner = runner if runner is not None else ExperimentRunner()
+    experiment = "figure13" if adaptive else "figure12"
+    results = runner.map(
+        experiment, run_experiment,
+        [dict(spec=ExperimentSpec(
+            scenario=scenario, config=SrmConfig(adaptive=adaptive),
+            rounds=rounds, seed=seed * 1009 + run_index,
+            experiment=experiment))
+         for run_index in range(runs)])
+    requests = [[outcome.requests for outcome in result.outcomes]
+                for result in results]
+    repairs = [[outcome.repairs for outcome in result.outcomes]
+               for result in results]
+    delays = [[outcome.last_member_ratio for outcome in result.outcomes]
+              for result in results]
+    metrics = RunMetrics.merged((result.metrics for result in results),
+                                experiment=experiment)
+    return RoundsResult(adaptive=adaptive, runs=runs,
+                        rounds=rounds, requests=requests,
+                        repairs=repairs, delays=delays, metrics=metrics)
 
 
 def run_figure12(scenario: Optional[Scenario] = None,
-                 num_runs: int = NUM_RUNS, num_rounds: int = NUM_ROUNDS,
-                 seed: int = 12) -> RoundsResult:
+                 runs: int = NUM_RUNS, rounds: int = NUM_ROUNDS,
+                 seed: int = 12,
+                 runner: Optional["ExperimentRunner"] = None,
+                 *, num_runs: Optional[int] = None,
+                 num_rounds: Optional[int] = None) -> RoundsResult:
+    runs = _deprecated_kwarg(runs, num_runs, "runs", "num_runs")
+    rounds = _deprecated_kwarg(rounds, num_rounds, "rounds", "num_rounds")
     scenario = scenario or find_adversarial_scenario()
     return run_rounds_experiment(scenario, adaptive=False,
-                                 num_runs=num_runs, num_rounds=num_rounds,
-                                 seed=seed)
+                                 runs=runs, rounds=rounds,
+                                 seed=seed, runner=runner)
 
 
 def run_figure13(scenario: Optional[Scenario] = None,
-                 num_runs: int = NUM_RUNS, num_rounds: int = NUM_ROUNDS,
-                 seed: int = 13) -> RoundsResult:
+                 runs: int = NUM_RUNS, rounds: int = NUM_ROUNDS,
+                 seed: int = 13,
+                 runner: Optional["ExperimentRunner"] = None,
+                 *, num_runs: Optional[int] = None,
+                 num_rounds: Optional[int] = None) -> RoundsResult:
+    runs = _deprecated_kwarg(runs, num_runs, "runs", "num_runs")
+    rounds = _deprecated_kwarg(rounds, num_rounds, "rounds", "num_rounds")
     scenario = scenario or find_adversarial_scenario()
     return run_rounds_experiment(scenario, adaptive=True,
-                                 num_runs=num_runs, num_rounds=num_rounds,
-                                 seed=seed)
+                                 runs=runs, rounds=rounds,
+                                 seed=seed, runner=runner)
 
 
 def main() -> None:  # pragma: no cover - CLI entry
     scenario = find_adversarial_scenario()
-    fixed = run_rounds_experiment(scenario, adaptive=False, num_runs=3,
-                                  num_rounds=60)
-    adaptive = run_rounds_experiment(scenario, adaptive=True, num_runs=3,
-                                     num_rounds=60)
+    fixed = run_rounds_experiment(scenario, adaptive=False, runs=3,
+                                  rounds=60)
+    adaptive = run_rounds_experiment(scenario, adaptive=True, runs=3,
+                                     rounds=60)
     print(fixed.format_table())
     print()
     print(adaptive.format_table())

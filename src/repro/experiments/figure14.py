@@ -11,18 +11,22 @@ number of duplicates over a range of scenarios.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import (
-    LossRecoverySimulation,
+    ExperimentSpec,
     RoundOutcome,
     Scenario,
     SeriesPoint,
+    _deprecated_kwarg,
     format_quartile_table,
+    run_experiment,
 )
 from repro.experiments.figure4 import DEFAULT_SIZES, figure4_scenarios
+from repro.metrics.bundle import RunMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runner import ExperimentRunner
@@ -32,23 +36,24 @@ DEFAULT_ROUNDS = 40
 
 def figure14_rounds(scenario: Scenario, config: SrmConfig, rounds: int,
                     seed: int) -> RoundOutcome:
-    """One task: run a scenario adaptively to ``rounds``, report the last.
+    """Deprecated task shim: run adaptively to ``rounds``, report the last.
 
-    Module-level (not a closure) so the runner can ship it to a worker
-    process by reference.
+    The sweep now ships :class:`ExperimentSpec` objects through
+    :func:`run_experiment`; this remains for callers that imported the
+    task directly.
     """
-    simulation = LossRecoverySimulation(scenario, config=config, seed=seed)
-    outcome = None
-    for _ in range(rounds):
-        outcome = simulation.run_round()
-    assert outcome is not None
-    return outcome
+    warnings.warn("figure14_rounds is deprecated; build an ExperimentSpec "
+                  "and call run_experiment", DeprecationWarning,
+                  stacklevel=2)
+    return run_experiment(ExperimentSpec(
+        scenario=scenario, config=config, rounds=rounds, seed=seed)).outcome
 
 
 @dataclass
 class Figure14Result:
     points: List[SeriesPoint]
     rounds: int
+    metrics: Optional[RunMetrics] = None
 
     def format_table(self) -> str:
         sections = [
@@ -67,36 +72,42 @@ class Figure14Result:
 
 
 def run_figure14(sizes: Sequence[int] = DEFAULT_SIZES,
-                 sims_per_size: int = 20, rounds: int = DEFAULT_ROUNDS,
+                 sims: int = 20, rounds: int = DEFAULT_ROUNDS,
                  seed: int = 4,
                  config: Optional[SrmConfig] = None,
-                 runner: Optional["ExperimentRunner"] = None
-                 ) -> Figure14Result:
+                 runner: Optional["ExperimentRunner"] = None,
+                 *, sims_per_size: Optional[int] = None) -> Figure14Result:
     """Re-runs the exact Fig. 4 scenario sweep, adaptively, to round 40."""
     from repro.runner import ExperimentRunner
 
+    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     base_config = config if config is not None else SrmConfig(adaptive=True)
     if not base_config.adaptive:
         raise ValueError("figure 14 requires an adaptive config")
     runner = runner if runner is not None else ExperimentRunner()
-    scenarios = figure4_scenarios(sizes, sims_per_size, seed)
-    outcomes = runner.map(
-        "figure14", figure14_rounds,
-        [dict(scenario=scenario, config=base_config, rounds=rounds,
-              seed=(seed * 524287 + index))
+    scenarios = figure4_scenarios(sizes, sims, seed)
+    results = runner.map(
+        "figure14", run_experiment,
+        [dict(spec=ExperimentSpec(scenario=scenario, config=base_config,
+                                  rounds=rounds,
+                                  seed=(seed * 524287 + index),
+                                  experiment="figure14"))
          for index, scenario in enumerate(scenarios)])
     points = {size: SeriesPoint(x=size) for size in sizes}
-    for scenario, outcome in zip(scenarios, outcomes):
+    for scenario, result in zip(scenarios, results):
+        outcome = result.outcome
         point = points[scenario.session_size]
         point.add("requests", outcome.requests)
         point.add("repairs", outcome.repairs)
         point.add("delay_ratio", outcome.last_member_ratio)
+    metrics = RunMetrics.merged((result.metrics for result in results),
+                                experiment="figure14")
     return Figure14Result(points=[points[size] for size in sizes],
-                          rounds=rounds)
+                          rounds=rounds, metrics=metrics)
 
 
 def main() -> None:  # pragma: no cover - CLI entry
-    print(run_figure14(sizes=(20, 40, 60), sims_per_size=8,
+    print(run_figure14(sizes=(20, 40, 60), sims=8,
                        rounds=25).format_table())
 
 

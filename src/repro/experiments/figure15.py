@@ -16,12 +16,20 @@ size; the one-step variant is run alongside to show its inefficiency.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.core.local import ideal_scoped_recovery, loss_neighborhood
-from repro.experiments.common import SeriesPoint, candidate_drop_edges, \
-    format_quartile_table
+from repro.core.local import loss_neighborhood
+from repro.experiments.common import (
+    ExperimentSpec,
+    Scenario,
+    SeriesPoint,
+    _deprecated_kwarg,
+    candidate_drop_edges,
+    format_quartile_table,
+    run_experiment,
+)
 from repro.net.network import Network
 from repro.net.packet import NodeId
 from repro.sim.rng import RandomSource
@@ -76,42 +84,50 @@ def _draw_scenario(network: Network, rng: RandomSource,
 def scoped_recovery_task(spec: TopologySpec, source: NodeId,
                          drop_edge: Tuple[NodeId, NodeId],
                          members: List[NodeId], mode: str):
-    """One task: rebuild the network from its spec and evaluate recovery.
+    """Deprecated task shim: evaluate scoped recovery for one scenario.
 
-    The shared :class:`Network` used for scenario *drawing* is not
-    picklable (and must not be shared across workers anyway), so each
-    task rebuilds from the pure-data spec.
+    The sweep now ships ``kind="scoped"`` :class:`ExperimentSpec` objects
+    through :func:`run_experiment`; this remains for callers that
+    imported the task directly.
     """
-    network = spec.build()
-    return ideal_scoped_recovery(network, source, drop_edge[0],
-                                 drop_edge[1], members, mode=mode)
+    warnings.warn("scoped_recovery_task is deprecated; build a "
+                  "kind='scoped' ExperimentSpec and call run_experiment",
+                  DeprecationWarning, stacklevel=2)
+    scenario = Scenario(spec=spec, members=members, source=source,
+                        drop_edge=drop_edge)
+    return run_experiment(ExperimentSpec(
+        scenario=scenario, kind="scoped",
+        scoped_mode=mode)).artifacts["scoped"]
 
 
 def run_figure15(sizes: Sequence[int] = DEFAULT_SIZES,
-                 sims_per_size: int = 20, num_nodes: int = NUM_NODES,
+                 sims: int = 20, num_nodes: int = NUM_NODES,
                  degree: int = DEGREE, mode: str = "two-step",
                  seed: int = 15,
-                 runner: Optional["ExperimentRunner"] = None
-                 ) -> Figure15Result:
+                 runner: Optional["ExperimentRunner"] = None,
+                 *, sims_per_size: Optional[int] = None) -> Figure15Result:
     from repro.runner import ExperimentRunner
 
+    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     spec = balanced_tree(num_nodes, degree)
     network = spec.build()
     master = RandomSource(seed)
     runner = runner if runner is not None else ExperimentRunner()
-    sweep = []  # (size, task kwargs), in sweep order
+    sweep = []  # (size, spec), in sweep order
     for size in sizes:
-        for sim_index in range(sims_per_size):
+        for sim_index in range(sims):
             rng = master.fork(f"fig15-{mode}-{size}-{sim_index}")
             members, source, drop_edge = _draw_scenario(
                 network, rng, size, num_nodes)
-            sweep.append((size, dict(spec=spec, source=source,
-                                     drop_edge=drop_edge, members=members,
-                                     mode=mode)))
-    outcomes = runner.map("figure15", scoped_recovery_task,
-                          [kwargs for _, kwargs in sweep])
+            sweep.append((size, ExperimentSpec(
+                scenario=Scenario(spec=spec, members=members, source=source,
+                                  drop_edge=drop_edge),
+                kind="scoped", scoped_mode=mode, experiment="figure15")))
+    results = runner.map("figure15", run_experiment,
+                         [dict(spec=spec) for _, spec in sweep])
     points = {size: SeriesPoint(x=size) for size in sizes}
-    for (size, _), outcome in zip(sweep, outcomes):
+    for (size, _), result in zip(sweep, results):
+        outcome = result.artifacts["scoped"]
         assert outcome.covered, "scoped repair must cover the loss"
         point = points[size]
         point.add("fraction", outcome.fraction_of_session)

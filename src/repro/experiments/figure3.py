@@ -13,6 +13,7 @@ unicast recovery.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
@@ -21,11 +22,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import (
+    ExperimentSpec,
     SeriesPoint,
+    _deprecated_kwarg,
     choose_scenario,
     format_quartile_table,
-    run_single_round,
+    run_experiment,
 )
+from repro.metrics.bundle import RunMetrics
 from repro.sim.rng import RandomSource
 from repro.topology.random_tree import random_labeled_tree
 
@@ -35,7 +39,14 @@ DEFAULT_SIZES = (10, 20, 40, 60, 80, 100)
 @dataclass
 class Figure3Result:
     points: List[SeriesPoint]
-    sims_per_size: int
+    sims: int
+    metrics: Optional[RunMetrics] = None
+
+    @property
+    def sims_per_size(self) -> int:
+        warnings.warn("sims_per_size is deprecated; use sims",
+                      DeprecationWarning, stacklevel=2)
+        return self.sims
 
     def format_table(self) -> str:
         sections = [
@@ -51,39 +62,45 @@ class Figure3Result:
 
 
 def run_figure3(sizes: Sequence[int] = DEFAULT_SIZES,
-                sims_per_size: int = 20, seed: int = 3,
+                sims: int = 20, seed: int = 3,
                 config: Optional[SrmConfig] = None,
-                runner: Optional["ExperimentRunner"] = None) -> Figure3Result:
+                runner: Optional["ExperimentRunner"] = None,
+                *, sims_per_size: Optional[int] = None) -> Figure3Result:
     """Twenty sims per session size; a fresh random tree per sim.
 
     Scenario generation (topology draws, membership, congested link)
     stays serial in this process — forking the master RNG is order
-    dependent — while the independent rounds execute on the runner.
+    dependent — while the independent specs execute on the runner.
     """
     from repro.runner import ExperimentRunner
 
+    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     master = RandomSource(seed)
     base_config = config if config is not None else SrmConfig()
     runner = runner if runner is not None else ExperimentRunner()
-    sweep = []  # (size, task kwargs), in sweep order
+    sweep = []  # (size, spec), in sweep order
     for size in sizes:
-        for sim_index in range(sims_per_size):
+        for sim_index in range(sims):
             rng = master.fork(f"fig3-{size}-{sim_index}")
             spec = random_labeled_tree(size, rng)
             scenario = choose_scenario(spec, session_size=size, rng=rng)
-            sweep.append((size, dict(
+            sweep.append((size, ExperimentSpec(
                 scenario=scenario, config=base_config,
-                seed=hash((seed, size, sim_index)) & 0xFFFF)))
-    outcomes = runner.map("figure3", run_single_round,
-                          [kwargs for _, kwargs in sweep])
+                seed=hash((seed, size, sim_index)) & 0xFFFF,
+                experiment="figure3")))
+    results = runner.map("figure3", run_experiment,
+                         [dict(spec=spec) for _, spec in sweep])
     points = {size: SeriesPoint(x=size) for size in sizes}
-    for (size, _), outcome in zip(sweep, outcomes):
+    for (size, _), result in zip(sweep, results):
+        outcome = result.outcome
         point = points[size]
         point.add("requests", outcome.requests)
         point.add("repairs", outcome.repairs)
         point.add("delay_ratio", outcome.last_member_ratio)
+    metrics = RunMetrics.merged((result.metrics for result in results),
+                                experiment="figure3")
     return Figure3Result(points=[points[size] for size in sizes],
-                         sims_per_size=sims_per_size)
+                         sims=sims, metrics=metrics)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -9,6 +9,7 @@ somewhat high — the motivation for the adaptive algorithm (Fig. 13/14).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
@@ -17,12 +18,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import (
+    ExperimentSpec,
     Scenario,
     SeriesPoint,
+    _deprecated_kwarg,
     choose_scenario,
     format_quartile_table,
-    run_single_round,
+    run_experiment,
 )
+from repro.metrics.bundle import RunMetrics
 from repro.sim.rng import RandomSource
 from repro.topology.btree import balanced_tree
 
@@ -32,15 +36,18 @@ DEGREE = 4
 
 
 def figure4_scenarios(sizes: Sequence[int] = DEFAULT_SIZES,
-                      sims_per_size: int = 20, seed: int = 4,
-                      adjacent_drop: bool = False) -> List[Scenario]:
+                      sims: int = 20, seed: int = 4,
+                      adjacent_drop: bool = False,
+                      *, sims_per_size: Optional[int] = None
+                      ) -> List[Scenario]:
     """The scenario sweep shared by Figs. 4 and 14."""
+    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     master = RandomSource(seed)
     spec = balanced_tree(NUM_NODES, DEGREE)
     network = spec.build()  # shared for candidate-edge computation
     scenarios = []
     for size in sizes:
-        for sim_index in range(sims_per_size):
+        for sim_index in range(sims):
             rng = master.fork(f"fig4-{size}-{sim_index}")
             scenarios.append(choose_scenario(
                 spec, session_size=size, rng=rng,
@@ -51,7 +58,14 @@ def figure4_scenarios(sizes: Sequence[int] = DEFAULT_SIZES,
 @dataclass
 class Figure4Result:
     points: List[SeriesPoint]
-    sims_per_size: int
+    sims: int
+    metrics: Optional[RunMetrics] = None
+
+    @property
+    def sims_per_size(self) -> int:
+        warnings.warn("sims_per_size is deprecated; use sims",
+                      DeprecationWarning, stacklevel=2)
+        return self.sims
 
     def format_table(self) -> str:
         sections = [
@@ -67,27 +81,33 @@ class Figure4Result:
 
 
 def run_figure4(sizes: Sequence[int] = DEFAULT_SIZES,
-                sims_per_size: int = 20, seed: int = 4,
+                sims: int = 20, seed: int = 4,
                 config: Optional[SrmConfig] = None,
-                runner: Optional["ExperimentRunner"] = None) -> Figure4Result:
+                runner: Optional["ExperimentRunner"] = None,
+                *, sims_per_size: Optional[int] = None) -> Figure4Result:
     from repro.runner import ExperimentRunner
 
+    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     base_config = config if config is not None else SrmConfig()
     runner = runner if runner is not None else ExperimentRunner()
-    scenarios = figure4_scenarios(sizes, sims_per_size, seed)
-    outcomes = runner.map(
-        "figure4", run_single_round,
-        [dict(scenario=scenario, config=base_config,
-              seed=(seed * 7919 + index))
+    scenarios = figure4_scenarios(sizes, sims, seed)
+    results = runner.map(
+        "figure4", run_experiment,
+        [dict(spec=ExperimentSpec(scenario=scenario, config=base_config,
+                                  seed=(seed * 7919 + index),
+                                  experiment="figure4"))
          for index, scenario in enumerate(scenarios)])
     points = {size: SeriesPoint(x=size) for size in sizes}
-    for scenario, outcome in zip(scenarios, outcomes):
+    for scenario, result in zip(scenarios, results):
+        outcome = result.outcome
         point = points[scenario.session_size]
         point.add("requests", outcome.requests)
         point.add("repairs", outcome.repairs)
         point.add("delay_ratio", outcome.last_member_ratio)
+    metrics = RunMetrics.merged((result.metrics for result in results),
+                                experiment="figure4")
     return Figure4Result(points=[points[size] for size in sizes],
-                         sims_per_size=sims_per_size)
+                         sims=sims, metrics=metrics)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -22,7 +22,14 @@ from repro.analysis.star import (
     expected_requests,
 )
 from repro.core.config import SrmConfig
-from repro.experiments.common import Scenario, SeriesPoint, run_rounds
+from repro.experiments.common import (
+    ExperimentSpec,
+    Scenario,
+    SeriesPoint,
+    _deprecated_kwarg,
+    run_experiment,
+)
+from repro.metrics.bundle import RunMetrics
 from repro.topology.star import star
 
 DEFAULT_C2_VALUES = tuple(range(0, 101, 4))
@@ -44,6 +51,7 @@ class Figure5Result:
     group_size: int
     c1: float
     points: List[Figure5Point]
+    metrics: Optional[RunMetrics] = None
 
     def format_table(self) -> str:
         lines = [
@@ -69,22 +77,26 @@ def star_scenario(group_size: int = GROUP_SIZE) -> Scenario:
 
 
 def run_figure5(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
-                sims_per_value: int = 20, group_size: int = GROUP_SIZE,
+                sims: int = 20, group_size: int = GROUP_SIZE,
                 c1: float = 2.0, seed: int = 5,
-                runner: Optional["ExperimentRunner"] = None) -> Figure5Result:
+                runner: Optional["ExperimentRunner"] = None,
+                *, sims_per_value: Optional[int] = None) -> Figure5Result:
     from repro.runner import ExperimentRunner
 
+    sims = _deprecated_kwarg(sims, sims_per_value, "sims", "sims_per_value")
     scenario = star_scenario(group_size)
     runner = runner if runner is not None else ExperimentRunner()
-    outcome_lists = runner.map(
-        "figure5", run_rounds,
-        [dict(scenario=scenario, config=SrmConfig(c1=c1, c2=float(c2)),
-              rounds=sims_per_value, seed=(seed * 104729 + int(c2) * 613))
+    results = runner.map(
+        "figure5", run_experiment,
+        [dict(spec=ExperimentSpec(
+            scenario=scenario, config=SrmConfig(c1=c1, c2=float(c2)),
+            rounds=sims, seed=(seed * 104729 + int(c2) * 613),
+            experiment="figure5"))
          for c2 in c2_values])
     points = []
-    for c2, outcomes in zip(c2_values, outcome_lists):
+    for c2, result in zip(c2_values, results):
         point = SeriesPoint(x=c2)
-        for outcome in outcomes:
+        for outcome in result.outcomes:
             point.add("requests", outcome.requests)
             point.add("delay", outcome.closest_request_ratio)
         requests = point.series("requests")
@@ -96,8 +108,11 @@ def run_figure5(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
             analysis_requests=expected_requests(group_size, c2),
             sim_delay_mean=sum(delays) / len(delays),
             sim_requests_mean=sum(requests) / len(requests),
-            sims=sims_per_value))
-    return Figure5Result(group_size=group_size, c1=c1, points=points)
+            sims=sims))
+    metrics = RunMetrics.merged((result.metrics for result in results),
+                                experiment="figure5")
+    return Figure5Result(group_size=group_size, c1=c1, points=points,
+                         metrics=metrics)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -8,14 +8,21 @@ series place the failed edge 1, 2, 5 and 10 hops from the source.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runner import ExperimentRunner
 
 from repro.core.config import SrmConfig
-from repro.experiments.common import Scenario, SeriesPoint, run_rounds
+from repro.experiments.common import (
+    ExperimentSpec,
+    Scenario,
+    SeriesPoint,
+    _deprecated_kwarg,
+    run_experiment,
+)
+from repro.metrics.bundle import RunMetrics
 from repro.topology.chain import chain
 
 #: The paper sweeps C2 over 0..10 by 1 then 10..100 by 10.
@@ -29,7 +36,8 @@ class Figure6Result:
     chain_length: int
     c1: float
     #: failure_hops -> list of per-C2 SeriesPoints.
-    series: Dict[int, List[SeriesPoint]]
+    series: Dict[int, List[SeriesPoint]] = field(default_factory=dict)
+    metrics: Optional[RunMetrics] = None
 
     def format_table(self) -> str:
         lines = [f"Figure 6: chain of {self.chain_length} nodes, "
@@ -57,34 +65,40 @@ def chain_scenario(failure_hops: int,
 
 def run_figure6(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
                 failure_hops: Sequence[int] = DEFAULT_FAILURE_HOPS,
-                sims_per_value: int = 20, chain_length: int = CHAIN_LENGTH,
+                sims: int = 20, chain_length: int = CHAIN_LENGTH,
                 c1: float = 2.0, seed: int = 6,
-                runner: Optional["ExperimentRunner"] = None) -> Figure6Result:
+                runner: Optional["ExperimentRunner"] = None,
+                *, sims_per_value: Optional[int] = None) -> Figure6Result:
     from repro.runner import ExperimentRunner
 
+    sims = _deprecated_kwarg(sims, sims_per_value, "sims", "sims_per_value")
     runner = runner if runner is not None else ExperimentRunner()
-    sweep = []  # (hops, c2, task kwargs) across both loops
+    sweep = []  # (hops, c2, spec) across both loops
     for hops in failure_hops:
         scenario = chain_scenario(hops, chain_length)
         for c2 in c2_values:
-            sweep.append((hops, c2, dict(
+            sweep.append((hops, c2, ExperimentSpec(
                 scenario=scenario, config=SrmConfig(c1=c1, c2=float(c2)),
-                rounds=sims_per_value,
-                seed=(seed * 65537 + hops * 9973 + int(c2) * 613))))
-    outcome_lists = runner.map("figure6", run_rounds,
-                               [kwargs for _, _, kwargs in sweep])
+                rounds=sims,
+                seed=(seed * 65537 + hops * 9973 + int(c2) * 613),
+                experiment="figure6")))
+    results = runner.map("figure6", run_experiment,
+                         [dict(spec=spec) for _, _, spec in sweep])
     series: Dict[int, List[SeriesPoint]] = {hops: [] for hops in failure_hops}
-    for (hops, c2, _), outcomes in zip(sweep, outcome_lists):
+    for (hops, c2, _), result in zip(sweep, results):
         point = SeriesPoint(x=c2)
-        for outcome in outcomes:
+        for outcome in result.outcomes:
             point.add("requests", outcome.requests)
             point.add("delay", outcome.closest_request_ratio)
         series[hops].append(point)
-    return Figure6Result(chain_length=chain_length, c1=c1, series=series)
+    metrics = RunMetrics.merged((result.metrics for result in results),
+                                experiment="figure6")
+    return Figure6Result(chain_length=chain_length, c1=c1, series=series,
+                         metrics=metrics)
 
 
 def main() -> None:  # pragma: no cover - CLI entry
-    result = run_figure6(sims_per_value=10)
+    result = run_figure6(sims=10)
     print(result.format_table())
 
 

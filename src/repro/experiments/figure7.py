@@ -14,7 +14,7 @@ is out so fast that deeper levels are deterministically suppressed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -22,10 +22,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import (
+    ExperimentSpec,
     Scenario,
     SeriesPoint,
-    run_rounds,
+    _deprecated_kwarg,
+    run_experiment,
 )
+from repro.metrics.bundle import RunMetrics
 from repro.topology.btree import balanced_tree
 from repro.topology.spec import TopologySpec
 
@@ -59,8 +62,9 @@ def drop_edge_at_hops(spec: TopologySpec, source: int, hops: int,
 class Figure7Result:
     num_nodes: int
     c1: float
-    series: Dict[int, List[SeriesPoint]]
+    series: Dict[int, List[SeriesPoint]] = field(default_factory=dict)
     label: str = "Figure 7"
+    metrics: Optional[RunMetrics] = None
 
     def format_table(self) -> str:
         lines = [f"{self.label}: tree of {self.num_nodes} nodes, C1={self.c1}"]
@@ -83,40 +87,46 @@ class Figure7Result:
 
 def run_figure7(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
                 hops_values: Sequence[int] = DEFAULT_HOPS,
-                sims_per_value: int = 20, num_nodes: int = NUM_NODES,
+                sims: int = 20, num_nodes: int = NUM_NODES,
                 degree: int = DEGREE, c1: float = 2.0,
                 seed: int = 7,
-                runner: Optional["ExperimentRunner"] = None) -> Figure7Result:
+                runner: Optional["ExperimentRunner"] = None,
+                *, sims_per_value: Optional[int] = None) -> Figure7Result:
     from repro.runner import ExperimentRunner
 
+    sims = _deprecated_kwarg(sims, sims_per_value, "sims", "sims_per_value")
     spec = balanced_tree(num_nodes, degree)
     members = list(range(num_nodes))
     source = 0
     runner = runner if runner is not None else ExperimentRunner()
-    sweep = []  # (hops, c2, task kwargs) across both loops
+    sweep = []  # (hops, c2, spec) across both loops
     for hops in hops_values:
         drop_edge = drop_edge_at_hops(spec, source, hops, members)
         scenario = Scenario(spec=spec, members=members, source=source,
                             drop_edge=drop_edge)
         for c2 in c2_values:
-            sweep.append((hops, c2, dict(
+            sweep.append((hops, c2, ExperimentSpec(
                 scenario=scenario, config=SrmConfig(c1=c1, c2=float(c2)),
-                rounds=sims_per_value,
-                seed=(seed * 31337 + hops * 7919 + int(c2) * 613))))
-    outcome_lists = runner.map("figure7", run_rounds,
-                               [kwargs for _, _, kwargs in sweep])
+                rounds=sims,
+                seed=(seed * 31337 + hops * 7919 + int(c2) * 613),
+                experiment="figure7")))
+    results = runner.map("figure7", run_experiment,
+                         [dict(spec=spec) for _, _, spec in sweep])
     series: Dict[int, List[SeriesPoint]] = {hops: [] for hops in hops_values}
-    for (hops, c2, _), outcomes in zip(sweep, outcome_lists):
+    for (hops, c2, _), result in zip(sweep, results):
         point = SeriesPoint(x=c2)
-        for outcome in outcomes:
+        for outcome in result.outcomes:
             point.add("requests", outcome.requests)
             point.add("delay", outcome.closest_request_ratio)
         series[hops].append(point)
-    return Figure7Result(num_nodes=num_nodes, c1=c1, series=series)
+    metrics = RunMetrics.merged((result.metrics for result in results),
+                                experiment="figure7")
+    return Figure7Result(num_nodes=num_nodes, c1=c1, series=series,
+                         metrics=metrics)
 
 
 def main() -> None:  # pragma: no cover - CLI entry
-    print(run_figure7(sims_per_value=10).format_table())
+    print(run_figure7(sims=10).format_table())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,155 @@
+"""Threshold-based regression comparison between two metrics bundles.
+
+``repro compare old.json new.json`` gates on the headline card: for each
+lower-is-better key, the candidate regresses when it exceeds the
+baseline by more than ``threshold`` (relative, default 10%). The CLI
+maps a regressing comparison to a non-zero exit code, which is what the
+benchmark CI job consumes.
+
+Wall-clock never appears here — every gated metric is a deterministic
+function of (scenario, config, seed), so a committed baseline bundle
+compares exactly across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.metrics.bundle import RunMetrics
+
+#: Headline keys where a larger value is worse. Counts of loss events
+#: themselves are identity checks, not regressions, so they are gated
+#: too: a run that suddenly loses more packets than its baseline is
+#: exactly the kind of drift the gate exists to catch.
+GATED_KEYS = (
+    "loss_events",
+    "requests_mean",
+    "repairs_mean",
+    "duplicate_requests_mean",
+    "duplicate_repairs_mean",
+    "recovery_ratio_p50",
+    "recovery_ratio_p90",
+    "recovery_ratio_max",
+    "request_ratio_p50",
+    "request_ratio_p90",
+    "request_ratio_max",
+    "last_member_ratio_p50",
+    "last_member_ratio_p90",
+    "last_member_ratio_max",
+    "control_bytes_per_member",
+)
+
+#: Default relative tolerance: a gated metric may grow by this fraction
+#: of the baseline before the comparison fails.
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass
+class Delta:
+    """One headline key's movement between baseline and candidate."""
+
+    key: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    regressed: bool
+
+    @property
+    def change(self) -> Optional[float]:
+        """Relative change, None when it cannot be expressed."""
+        if self.baseline is None or self.candidate is None:
+            return None
+        if self.baseline == 0:
+            return None if self.candidate == 0 else float("inf")
+        return (self.candidate - self.baseline) / self.baseline
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``repro compare`` prints, plus the pass/fail verdict."""
+
+    baseline_experiment: str
+    candidate_experiment: str
+    threshold: float
+    deltas: List[Delta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [
+            f"comparing {self.baseline_experiment or '<baseline>'} -> "
+            f"{self.candidate_experiment or '<candidate>'} "
+            f"(threshold {self.threshold:.0%})",
+            f"{'metric':<28} {'baseline':>12} {'candidate':>12} "
+            f"{'change':>9}",
+        ]
+        for delta in self.deltas:
+            change = delta.change
+            lines.append(
+                f"{delta.key:<28} {_num(delta.baseline):>12} "
+                f"{_num(delta.candidate):>12} {_pct(change):>9}"
+                f"{'  REGRESSED' if delta.regressed else ''}")
+        if self.ok:
+            lines.append("OK: no gated metric regressed beyond threshold")
+        else:
+            keys = ", ".join(delta.key for delta in self.regressions)
+            lines.append(f"REGRESSION: {keys}")
+        return "\n".join(lines)
+
+
+def compare_bundles(baseline: RunMetrics, candidate: RunMetrics,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    keys: Optional[List[str]] = None) -> ComparisonReport:
+    """Gate ``candidate`` against ``baseline`` on the headline card.
+
+    A key regresses when the candidate exceeds the baseline by more than
+    ``threshold`` relatively (absolute slack of ``threshold`` when the
+    baseline is zero), or when a metric the baseline measured is missing
+    from the candidate.
+    """
+    old_card = baseline.headline()
+    new_card = candidate.headline()
+    report = ComparisonReport(
+        baseline_experiment=baseline.experiment,
+        candidate_experiment=candidate.experiment,
+        threshold=threshold)
+    for key in (keys if keys is not None else GATED_KEYS):
+        old = old_card.get(key)
+        new = new_card.get(key)
+        report.deltas.append(Delta(
+            key=key, baseline=old, candidate=new,
+            regressed=_regressed(old, new, threshold)))
+    return report
+
+
+def _regressed(old: Optional[float], new: Optional[float],
+               threshold: float) -> bool:
+    if old is None:
+        # Baseline never measured this: nothing to regress against.
+        return False
+    if new is None:
+        # The candidate lost a metric the baseline had — that is a
+        # regression of the measurement itself.
+        return True
+    allowance = threshold * abs(old) if old else threshold
+    return new > old + allowance
+
+
+def _num(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.4f}"
+
+
+def _pct(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return "+inf"
+    return f"{value:+.1%}"

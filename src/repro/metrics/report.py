@@ -1,0 +1,85 @@
+"""Human-readable rendering of a metrics bundle (``repro report``)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.bundle import RunMetrics
+
+
+def format_metrics_report(bundle: RunMetrics,
+                          source: Optional[str] = None) -> str:
+    """The report card printed under a run's figure table."""
+    lines = []
+    title = bundle.experiment or "run"
+    lines.append(f"== metrics report: {title} ==")
+    if source:
+        lines.append(f"bundle: {source}")
+    lines.append(f"rounds: {bundle.rounds}   loss events: "
+                 f"{bundle.loss_events}")
+
+    lines.append("")
+    lines.append("-- per loss event --")
+    events = bundle.loss_events or 1
+    for label, total in (
+            ("requests", bundle.requests),
+            ("repairs", bundle.repairs),
+            ("second-step repairs", bundle.second_step_repairs),
+            ("duplicate requests", bundle.duplicate_requests),
+            ("duplicate repairs", bundle.duplicate_repairs),
+            ("losses detected", bundle.losses_detected),
+            ("recoveries", bundle.recoveries)):
+        mean = total / events if bundle.loss_events else 0.0
+        lines.append(f"{label:<22} total {total:>8}   mean {mean:8.3f}")
+
+    lines.append("")
+    lines.append("-- delay distributions (units of requester RTT) --")
+    lines.append(f"{'distribution':<22} {'count':>6} {'mean':>8} "
+                 f"{'p50':>8} {'p90':>8} {'max':>8}")
+    for label, card in bundle.summaries().items():
+        lines.append(
+            f"{label:<22} {card['count']:>6} {_num(card['mean']):>8} "
+            f"{_num(card['p50']):>8} {_num(card['p90']):>8} "
+            f"{_num(card['max']):>8}")
+
+    if bundle.timers:
+        lines.append("")
+        lines.append("-- timers --")
+        for kind, count in sorted(bundle.timers.items()):
+            lines.append(f"{kind:<28} {count:>8}")
+
+    if bundle.control_packets:
+        members = len(bundle.control_packets)
+        total = sum(bundle.control_packets.values())
+        lines.append("")
+        lines.append("-- control bandwidth --")
+        lines.append(f"members sending control traffic: {members}")
+        lines.append(f"control packets: {total}   control bytes: "
+                     f"{bundle.control_bytes}")
+        lines.append(f"control bytes per member: "
+                     f"{bundle.control_bytes / members:.1f}")
+
+    if bundle.kernel:
+        lines.append("")
+        lines.append("-- kernel counters --")
+        for key, value in sorted(bundle.kernel.items()):
+            if key == "packets_by_kind":
+                continue
+            lines.append(f"{key:<28} {value:>10}")
+        by_kind = bundle.kernel.get("packets_by_kind") or {}
+        for kind, count in sorted(by_kind.items()):
+            lines.append(f"  packets[{kind}]{'':<{max(0, 14 - len(kind))}} "
+                         f"{count:>10}")
+
+    if bundle.meta:
+        lines.append("")
+        lines.append("-- meta --")
+        for key, value in sorted(bundle.meta.items()):
+            lines.append(f"{key}: {value}")
+    return "\n".join(lines)
+
+
+def _num(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.3f}"

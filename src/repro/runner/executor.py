@@ -81,10 +81,14 @@ class ExperimentRunner:
                  task_timeout: Optional[float] = None,
                  backoff: float = 0.5,
                  trace: Optional[Trace] = None,
-                 salt: Optional[str] = None) -> None:
+                 salt: Optional[str] = None,
+                 metrics_path: Optional[str] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.manifest_path = manifest_path
+        #: When set, every run() merges the RunMetrics bundles carried by
+        #: its results and persists them as JSON at this path.
+        self.metrics_path = metrics_path
         self.retries = max(0, int(retries))
         self.task_timeout = task_timeout
         self.backoff = backoff
@@ -161,6 +165,8 @@ class ExperimentRunner:
         except Exception:
             self._finalize(manifest, run_reports, started, failed=True)
             raise
+        if self.metrics_path:
+            self._persist_metrics(results, experiments, manifest, started)
         self._finalize(manifest, run_reports, started, failed=False)
         return results
 
@@ -247,6 +253,33 @@ class ExperimentRunner:
         run_pool(items, jobs=self.jobs, timeout=self.task_timeout,
                  retries=self.retries, backoff=self.backoff,
                  on_event=on_event)
+
+    def _persist_metrics(self, results, experiments, manifest,
+                         started) -> None:
+        """Merge the results' RunMetrics bundles and save them as JSON.
+
+        Results without a bundle (legacy task functions, analytic
+        experiment kinds) are skipped; cache hits contribute the bundle
+        pickled into their cached value, so a fully-cached run persists
+        the same bundle as a cold one.
+        """
+        from repro.metrics.bundle import RunMetrics, save_bundle
+
+        bundles = [bundle for bundle in
+                   (getattr(result, "metrics", None) for result in results)
+                   if isinstance(bundle, RunMetrics)]
+        if not bundles:
+            return
+        merged = RunMetrics.merged(bundles,
+                                   experiment=",".join(experiments))
+        path = save_bundle(merged, self.metrics_path)
+        self.trace.record(time.monotonic() - started, "runner",
+                          "metrics_saved", path=str(path),
+                          bundles=len(bundles))
+        if manifest:
+            manifest.metrics(path=str(path), bundles=len(bundles),
+                             experiments=experiments,
+                             headline=merged.headline())
 
     def _finalize(self, manifest, run_reports, started,
                   failed: bool) -> None:

@@ -2,7 +2,9 @@
 
 Every :meth:`repro.runner.executor.ExperimentRunner.run` invocation with
 a manifest path appends a ``header`` row, one ``task`` row per task as it
-completes (cache hits included), and a ``summary`` row with the totals.
+completes (cache hits included), a ``metrics`` row when the runner was
+given a ``metrics_path`` (the merged bundle's location and headline),
+and a ``summary`` row with the totals.
 Rows are self-describing dicts with a ``type`` field, so a manifest file
 can accumulate several invocations and still be parsed unambiguously.
 
@@ -41,6 +43,12 @@ class RunManifest:
 
     def task(self, **info: Any) -> None:
         row = {"type": "task"}
+        row.update(info)
+        self._write(row)
+
+    def metrics(self, **info: Any) -> None:
+        """Row recording where the run's merged metrics bundle landed."""
+        row = {"type": "metrics"}
         row.update(info)
         self._write(row)
 

@@ -9,7 +9,7 @@ into a shared :class:`Trace`, and the experiment layer queries it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,7 +32,8 @@ class Trace:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.records: list[TraceRecord] = []
-        self._listeners: list[Callable[[TraceRecord], None]] = []
+        self._listeners: list[
+            tuple[Callable[[TraceRecord], None], Optional[frozenset]]] = []
 
     def record(self, time: float, node: Any, kind: str, **detail: Any) -> None:
         """Append a record (no-op when tracing is disabled)."""
@@ -43,19 +44,27 @@ class Trace:
         if self._listeners:
             # Snapshot: a listener may subscribe/unsubscribe from inside
             # its callback without perturbing this delivery round.
-            for listener in tuple(self._listeners):
-                listener(row)
+            for listener, kinds in tuple(self._listeners):
+                if kinds is None or kind in kinds:
+                    listener(row)
 
-    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
-        """Invoke ``listener`` on every future record (live monitoring)."""
-        self._listeners.append(listener)
+    def subscribe(self, listener: Callable[[TraceRecord], None],
+                  kinds: Optional[Iterable[str]] = None) -> None:
+        """Invoke ``listener`` on every future record (live monitoring).
+
+        ``kinds`` restricts delivery to those record kinds; None means
+        everything. Filtering here keeps uninterested listeners off the
+        hot record() path entirely.
+        """
+        self._listeners.append(
+            (listener, None if kinds is None else frozenset(kinds)))
 
     def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Stop invoking ``listener``; unknown listeners are a no-op."""
-        try:
-            self._listeners.remove(listener)
-        except ValueError:
-            pass
+        for index, (registered, _) in enumerate(self._listeners):
+            if registered == listener:
+                del self._listeners[index]
+                return
 
     def clear(self) -> None:
         self.records.clear()

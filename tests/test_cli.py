@@ -77,3 +77,78 @@ def test_no_cache_flag_skips_cache(tmp_path, capsys):
 def test_serial_commands_have_no_runner_flags():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["robustness", "--jobs", "2"])
+
+
+def test_metrics_flag_persists_bundle(tmp_path, capsys):
+    bundle_path = tmp_path / "metrics.json"
+    assert main(["figure3", "--sims", "1", "--no-cache",
+                 "--metrics", str(bundle_path)]) == 0
+    capsys.readouterr()
+    from repro.metrics import load_bundle
+    bundle = load_bundle(bundle_path)
+    assert bundle.rounds > 0
+    assert bundle.headline()["loss_events"] > 0
+
+
+def test_report_command_runs_figure_and_prints_metrics(tmp_path, capsys):
+    save_path = tmp_path / "fig3.json"
+    assert main(["report", "figure3", "--sims", "1", "--no-cache",
+                 "--save", str(save_path)]) == 0
+    out = capsys.readouterr().out
+    # The standard figure table first (byte-compatible with `figure3`),
+    # then the metrics report.
+    assert "Figure 3a" in out
+    assert "metrics report" in out
+    assert "per loss event" in out
+    assert save_path.exists()
+
+
+def test_report_command_reads_saved_bundle(tmp_path, capsys):
+    save_path = tmp_path / "fig3.json"
+    assert main(["report", "figure3", "--sims", "1", "--no-cache",
+                 "--save", str(save_path)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(save_path)]) == 0
+    out = capsys.readouterr().out
+    assert "metrics report" in out
+    assert "Figure 3a" not in out  # no re-run: rendered from the file
+
+
+def test_report_rejects_unknown_target(capsys):
+    assert main(["report", "not-a-figure"]) == 2
+    assert "neither" in capsys.readouterr().err
+
+
+def test_compare_exit_codes(tmp_path, capsys):
+    from repro.metrics import load_bundle, save_bundle
+
+    baseline_path = tmp_path / "baseline.json"
+    assert main(["report", "figure3", "--sims", "1", "--no-cache",
+                 "--save", str(baseline_path)]) == 0
+    capsys.readouterr()
+
+    # Identical bundles: clean exit.
+    assert main(["compare", str(baseline_path), str(baseline_path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    # Inject a >10% regression into the recovery-delay distribution:
+    # non-zero exit, and the regressing keys are named.
+    worse = load_bundle(baseline_path)
+    worse.recovery_ratios = [r * 1.5 for r in worse.recovery_ratios]
+    worse_path = save_bundle(worse, tmp_path / "worse.json")
+    assert main(["compare", str(baseline_path), str(worse_path)]) == 2
+    assert "REGRESSION" in capsys.readouterr().out
+
+    # A loose threshold lets the same candidate through.
+    assert main(["compare", str(baseline_path), str(worse_path),
+                 "--threshold", "10"]) == 0
+
+
+def test_figure12_accepts_runner_flags(tmp_path, capsys):
+    manifest = tmp_path / "fig12.jsonl"
+    assert main(["figure12", "--runs", "1", "--rounds", "2", "--no-cache",
+                 "--manifest", str(manifest)]) == 0
+    assert "Figure 12" in capsys.readouterr().out
+    from repro.runner import read_manifest
+    rows = read_manifest(manifest, "task")
+    assert rows and all(row["status"] == "ok" for row in rows)

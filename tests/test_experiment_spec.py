@@ -1,0 +1,141 @@
+"""The unified ExperimentSpec -> run_experiment -> RunResult API.
+
+Asserts (a) that the declarative path reproduces the legacy helpers
+exactly, (b) that every deprecated signature still works but warns, and
+(c) that the public surface re-exports the API objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    RunResult,
+    Scenario,
+    choose_scenario,
+    run_experiment,
+    run_rounds,
+    run_single_round,
+)
+from repro.metrics import RunMetrics
+from repro.sim.rng import RandomSource
+from repro.topology.btree import balanced_tree
+
+
+def _scenario(seed: int = 3) -> Scenario:
+    return choose_scenario(balanced_tree(60, 4), session_size=12,
+                           rng=RandomSource(seed))
+
+
+# ----------------------------------------------------------------------
+# Spec execution
+# ----------------------------------------------------------------------
+
+
+def test_run_experiment_returns_result_with_metrics():
+    result = run_experiment(ExperimentSpec(scenario=_scenario(),
+                                           rounds=2, seed=7,
+                                           experiment="unit"))
+    assert isinstance(result, RunResult)
+    assert len(result.outcomes) == 2
+    assert result.outcome is result.outcomes[-1]
+    assert isinstance(result.metrics, RunMetrics)
+    assert result.metrics.rounds == 2
+    assert result.metrics.meta["seed"] == 7
+
+
+def test_run_experiment_matches_legacy_round_helpers():
+    scenario = _scenario()
+    spec_result = run_experiment(ExperimentSpec(scenario=scenario,
+                                                rounds=3, seed=11))
+    legacy = run_rounds(scenario, rounds=3, seed=11)
+    assert [o.requests for o in spec_result.outcomes] == \
+        [o.requests for o in legacy]
+    assert [o.last_member_ratio for o in spec_result.outcomes] == \
+        [o.last_member_ratio for o in legacy]
+
+    single = run_single_round(scenario, seed=11)
+    assert single.requests == spec_result.outcomes[0].requests
+
+
+def test_scoped_spec_runs_ideal_local_recovery():
+    scenario = _scenario(15)
+    result = run_experiment(ExperimentSpec(scenario=scenario,
+                                           kind="scoped",
+                                           scoped_mode="two-step"))
+    evaluation = result.artifacts["scoped"]
+    assert evaluation.covered
+    assert result.metrics is None  # analytic: no simulation metrics
+
+
+# ----------------------------------------------------------------------
+# Deprecated signatures: still functional, but warn
+# ----------------------------------------------------------------------
+
+
+def test_figure3_sims_per_size_warns_and_matches():
+    from repro.experiments.figure3 import run_figure3
+
+    new = run_figure3(sizes=(10,), sims=2, seed=1)
+    with pytest.warns(DeprecationWarning, match="sims_per_size"):
+        old = run_figure3(sizes=(10,), sims_per_size=2, seed=1)
+    assert old.format_table() == new.format_table()
+
+
+def test_figure5_sims_per_value_warns_and_matches():
+    from repro.experiments.figure5 import run_figure5
+
+    new = run_figure5(c2_values=(0,), sims=2, group_size=8, seed=1)
+    with pytest.warns(DeprecationWarning, match="sims_per_value"):
+        old = run_figure5(c2_values=(0,), sims_per_value=2, group_size=8,
+                          seed=1)
+    assert old.format_table() == new.format_table()
+
+
+def test_rounds_experiment_num_runs_warns_and_matches():
+    from repro.experiments.figure12_13 import run_rounds_experiment
+
+    scenario = _scenario(4)
+    new = run_rounds_experiment(scenario, adaptive=True, runs=2,
+                                rounds=3, seed=1)
+    with pytest.warns(DeprecationWarning, match="num_runs"):
+        old = run_rounds_experiment(scenario, adaptive=True, num_runs=2,
+                                    rounds=3, seed=1)
+    assert old.format_table() == new.format_table()
+    with pytest.warns(DeprecationWarning, match="num_rounds"):
+        run_rounds_experiment(scenario, adaptive=True, runs=1,
+                              num_rounds=2, seed=1)
+
+
+def test_deprecated_result_attributes_warn():
+    from repro.experiments.figure3 import run_figure3
+
+    result = run_figure3(sizes=(10,), sims=2, seed=1)
+    with pytest.warns(DeprecationWarning, match="sims_per_size"):
+        assert result.sims_per_size == result.sims
+
+
+def test_scoped_recovery_task_shim_warns():
+    from repro.experiments.figure15 import scoped_recovery_task
+
+    scenario = _scenario(15)
+    with pytest.warns(DeprecationWarning, match="scoped_recovery_task"):
+        evaluation = scoped_recovery_task(
+            scenario.spec, scenario.source, scenario.drop_edge,
+            scenario.members, "two-step")
+    assert evaluation.covered
+
+
+# ----------------------------------------------------------------------
+# Public surface
+# ----------------------------------------------------------------------
+
+
+def test_top_level_package_reexports_api():
+    import repro
+
+    for name in ("ExperimentSpec", "RunResult", "RunMetrics",
+                 "Scenario", "SrmConfig"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None

@@ -107,7 +107,7 @@ def test_series_point_and_table():
 
 def test_figure3_small():
     from repro.experiments.figure3 import run_figure3
-    result = run_figure3(sizes=(10, 20), sims_per_size=4, seed=1)
+    result = run_figure3(sizes=(10, 20), sims=4, seed=1)
     assert len(result.points) == 2
     table = result.format_table()
     assert "Figure 3a" in table and "Figure 3c" in table
@@ -117,14 +117,14 @@ def test_figure3_small():
 
 def test_figure4_small():
     from repro.experiments.figure4 import run_figure4
-    result = run_figure4(sizes=(15,), sims_per_size=3, seed=1)
+    result = run_figure4(sizes=(15,), sims=3, seed=1)
     assert len(result.points) == 1
     assert len(result.points[0].series("repairs")) == 3
 
 
 def test_figure5_small():
     from repro.experiments.figure5 import run_figure5
-    result = run_figure5(c2_values=(0, 20), sims_per_value=4,
+    result = run_figure5(c2_values=(0, 20), sims=4,
                          group_size=20, seed=1)
     assert len(result.points) == 2
     low_c2, high_c2 = result.points
@@ -137,7 +137,7 @@ def test_figure5_small():
 def test_figure6_small():
     from repro.experiments.figure6 import run_figure6
     result = run_figure6(c2_values=(0, 10), failure_hops=(1, 5),
-                         sims_per_value=3, chain_length=30, seed=1)
+                         sims=3, chain_length=30, seed=1)
     assert set(result.series) == {1, 5}
     assert "Figure 6" in result.format_table()
 
@@ -145,7 +145,7 @@ def test_figure6_small():
 def test_figure7_small():
     from repro.experiments.figure7 import run_figure7
     result = run_figure7(c2_values=(0, 8), hops_values=(1, 2),
-                         sims_per_value=3, num_nodes=40, seed=1)
+                         sims=3, num_nodes=40, seed=1)
     assert set(result.series) == {1, 2}
     assert len(result.mean_requests(1)) == 2
 
@@ -153,7 +153,7 @@ def test_figure7_small():
 def test_figure8_small():
     from repro.experiments.figure8 import run_figure8
     result = run_figure8(c2_values=(0, 8), hops_values=(1,),
-                         sims_per_value=3, num_nodes=120, session_size=20,
+                         sims=3, num_nodes=120, session_size=20,
                          seed=1)
     assert set(result.series) == {1}
 
@@ -165,8 +165,8 @@ def test_figure12_13_small():
     )
     scenario = find_adversarial_scenario(seed=4, session_size=20,
                                          candidates=5, probe_rounds=1)
-    result = run_rounds_experiment(scenario, adaptive=True, num_runs=2,
-                                   num_rounds=5, seed=1)
+    result = run_rounds_experiment(scenario, adaptive=True, runs=2,
+                                   rounds=5, seed=1)
     assert result.adaptive
     assert len(result.requests) == 2
     assert len(result.requests[0]) == 5
@@ -175,7 +175,7 @@ def test_figure12_13_small():
 
 def test_figure14_small():
     from repro.experiments.figure14 import run_figure14
-    result = run_figure14(sizes=(15,), sims_per_size=2, rounds=5, seed=2)
+    result = run_figure14(sizes=(15,), sims=2, rounds=5, seed=2)
     assert len(result.points) == 1
     assert "round 5" in result.format_table()
 
@@ -188,7 +188,7 @@ def test_figure14_rejects_non_adaptive_config():
 
 def test_figure15_small():
     from repro.experiments.figure15 import run_figure15
-    result = run_figure15(sizes=(40,), sims_per_size=5, num_nodes=200,
+    result = run_figure15(sizes=(40,), sims=5, num_nodes=200,
                           seed=3)
     assert len(result.points) == 1
     fractions = result.points[0].series("fraction")

@@ -1,0 +1,255 @@
+"""The repro.metrics observability layer.
+
+Covers the metric primitives, the streaming collector's agreement with
+the offline per-loss-event analysis, golden headline snapshots for the
+figure3/figure8 seeds, JSON bundle round-trips, and the regression
+comparison used by ``repro compare``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSpec,
+    choose_scenario,
+    run_experiment,
+)
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure8 import run_figure8
+from repro.metrics import (
+    BUNDLE_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RunMetrics,
+    collect_from_trace,
+    compare_bundles,
+    load_bundle,
+    save_bundle,
+)
+
+
+# ----------------------------------------------------------------------
+# Metric primitives
+# ----------------------------------------------------------------------
+
+
+def test_counter_accumulates_and_rejects_negative_increments():
+    counter = Counter("requests")
+    counter.inc()
+    counter.inc(3)
+    assert counter.value == 4
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_tracks_last_set_value_and_high_water_mark():
+    gauge = Gauge("heap")
+    gauge.set(7)
+    gauge.set(3)
+    assert gauge.value == 3
+    gauge.high(9)
+    gauge.high(4)
+    assert gauge.value == 9
+
+
+def test_histogram_quantiles_match_sorted_data():
+    histogram = Histogram("delay")
+    for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.quantile(0.5) == 3.0
+    assert histogram.quantile(1.0) == 5.0
+    assert histogram.mean() == 3.0
+    assert histogram.summary()["max"] == 5.0
+    assert Histogram("empty").summary() == {
+        "count": 0, "mean": None, "p50": None, "p90": None, "max": None}
+
+
+def test_registry_namespaces_and_snapshots():
+    registry = MetricsRegistry()
+    registry.counter("a").inc(2)
+    registry.gauge("b").set(9)
+    registry.histogram("c").observe(1.5)
+    snap = registry.as_dict()
+    assert snap["counters"]["a"] == 2
+    assert snap["gauges"]["b"] == 9
+    assert snap["histograms"]["c"]["count"] == 1
+    # Same name returns the same instrument, not a fresh one.
+    assert registry.counter("a") is registry.counter("a")
+
+
+# ----------------------------------------------------------------------
+# Collector vs offline analysis
+# ----------------------------------------------------------------------
+
+
+def _scenario(seed: int):
+    from repro.sim.rng import RandomSource
+    from repro.topology.btree import balanced_tree
+
+    return choose_scenario(balanced_tree(60, 4), session_size=12,
+                           rng=RandomSource(seed))
+
+
+def _run_one(seed: int = 2):
+    return run_experiment(ExperimentSpec(scenario=_scenario(seed),
+                                         rounds=3, seed=seed,
+                                         experiment="unit"))
+
+
+def test_streaming_collector_matches_offline_outcomes():
+    """The collector's counts must agree with RoundOutcome's, which are
+    computed independently by the offline analyze_loss_event path."""
+    result = _run_one()
+    bundle = result.metrics
+    assert bundle.rounds == len(result.outcomes)
+    assert bundle.requests == sum(o.requests for o in result.outcomes)
+    assert bundle.repairs == sum(o.repairs for o in result.outcomes)
+    assert bundle.duplicate_requests == \
+        sum(o.duplicate_requests for o in result.outcomes)
+    assert bundle.duplicate_repairs == \
+        sum(o.duplicate_repairs for o in result.outcomes)
+    offline_last = sorted(o.last_member_ratio for o in result.outcomes
+                          if o.last_member_ratio is not None)
+    assert sorted(bundle.last_member_ratios) == \
+        pytest.approx(offline_last)
+
+
+def test_collect_from_trace_reconstructs_streaming_bundle():
+    """Offline reconstruction from a trace equals the streaming pass."""
+    from repro.experiments.common import LossRecoverySimulation
+
+    simulation = LossRecoverySimulation(_scenario(5), seed=5)
+    simulation.run_round()
+    streaming = simulation.last_round_metrics
+    offline = collect_from_trace(
+        simulation.network.trace,
+        control_packet_size=simulation.config.control_packet_size)
+    assert offline.requests == streaming.requests
+    assert offline.repairs == streaming.repairs
+    assert offline.timers == streaming.timers
+    assert offline.control_packets == streaming.control_packets
+    assert offline.recovery_ratios == \
+        pytest.approx(streaming.recovery_ratios)
+
+
+def test_consistency_check_runs_under_check_mode(monkeypatch):
+    """SRM_CHECK=1 verifies the streaming bundle against the trace every
+    round; a healthy run must pass without raising."""
+    monkeypatch.setenv("SRM_CHECK", "1")
+    result = _run_one(seed=9)
+    assert result.metrics is not None
+    assert result.metrics.rounds == 3
+
+
+# ----------------------------------------------------------------------
+# Golden headline snapshots (reduced-scale figure3/figure8 seeds)
+# ----------------------------------------------------------------------
+
+FIGURE3_HEADLINE = {
+    "control_bytes_per_member": 78.46153846153847,
+    "duplicate_repairs_mean": 0.0,
+    "duplicate_requests_mean": 0.125,
+    "last_member_ratio_max": 2.5619801467002024,
+    "last_member_ratio_p50": 1.7606185159519707,
+    "last_member_ratio_p90": 2.354473168026529,
+    "loss_events": 8.0,
+    "recovery_ratio_max": 3.5361686338888463,
+    "recovery_ratio_p50": 1.3253169071726416,
+    "recovery_ratio_p90": 2.6305086967384192,
+    "repairs_mean": 1.0,
+    "request_ratio_max": 1.9647084284203995,
+    "request_ratio_p50": 0.8389130957626548,
+    "request_ratio_p90": 1.8397574464174287,
+    "requests_mean": 1.125,
+}
+
+FIGURE8_HEADLINE = {
+    "control_bytes_per_member": 255.0,
+    "duplicate_repairs_mean": 0.16666666666666666,
+    "duplicate_requests_mean": 0.6666666666666666,
+    "last_member_ratio_max": 1.2173176232546883,
+    "last_member_ratio_p50": 0.4052856874505085,
+    "last_member_ratio_p90": 0.9690036193461787,
+    "loss_events": 6.0,
+    "recovery_ratio_max": 9.738540986037503,
+    "recovery_ratio_p50": 0.5930078137169964,
+    "recovery_ratio_p90": 1.6230901643395839,
+    "repairs_mean": 1.1666666666666667,
+    "request_ratio_max": 7.682228801471659,
+    "request_ratio_p50": 0.2132518637044445,
+    "request_ratio_p90": 1.0856753231946144,
+    "requests_mean": 1.6666666666666667,
+}
+
+
+def _assert_headline(actual: dict, expected: dict) -> None:
+    assert set(actual) == set(expected)
+    for key, value in expected.items():
+        assert actual[key] == pytest.approx(value, rel=1e-12), key
+
+
+def test_figure3_metrics_headline_golden():
+    result = run_figure3(sizes=(10, 20), sims=4, seed=3)
+    _assert_headline(result.metrics.headline(), FIGURE3_HEADLINE)
+
+
+def test_figure8_metrics_headline_golden():
+    result = run_figure8(c2_values=(0, 20), hops_values=(1,), sims=3,
+                         num_nodes=120, session_size=20, seed=8)
+    _assert_headline(result.metrics.headline(), FIGURE8_HEADLINE)
+
+
+# ----------------------------------------------------------------------
+# Bundle persistence and comparison
+# ----------------------------------------------------------------------
+
+
+def test_bundle_json_round_trip(tmp_path):
+    bundle = _run_one(seed=3).metrics
+    path = save_bundle(bundle, tmp_path / "bundle.json")
+    loaded = load_bundle(path)
+    assert loaded.to_dict() == bundle.to_dict()
+    assert loaded.to_dict()["schema"] == BUNDLE_SCHEMA
+    assert loaded.headline() == pytest.approx(bundle.headline())
+
+
+def test_bundle_merge_is_associative_over_counts():
+    first = _run_one(seed=3).metrics
+    second = _run_one(seed=4).metrics
+    merged = RunMetrics.merged([first, second], experiment="unit")
+    assert merged.rounds == first.rounds + second.rounds
+    assert merged.requests == first.requests + second.requests
+    assert merged.loss_events == first.loss_events + second.loss_events
+    assert sorted(merged.recovery_ratios) == sorted(
+        first.recovery_ratios + second.recovery_ratios)
+
+
+def test_compare_flags_only_regressions_beyond_threshold():
+    baseline = _run_one(seed=3).metrics
+    same = compare_bundles(baseline, baseline, threshold=0.10)
+    assert same.ok and not same.regressions
+
+    worse = RunMetrics.from_dict(baseline.to_dict())
+    worse.recovery_ratios = [r * 1.5 for r in worse.recovery_ratios]
+    report = compare_bundles(baseline, worse, threshold=0.10)
+    assert not report.ok
+    regressed = {delta.key for delta in report.regressions}
+    assert "recovery_ratio_p50" in regressed
+    assert "requests_mean" not in regressed
+    assert "REGRESSION" in report.format()
+
+    # A 1.5x blow-up passes under a loose-enough threshold.
+    loose = compare_bundles(baseline, worse, threshold=10.0)
+    assert loose.ok
+
+
+def test_compare_treats_new_nan_or_missing_as_regression():
+    baseline = _run_one(seed=3).metrics
+    broken = RunMetrics.from_dict(baseline.to_dict())
+    broken.recovery_ratios = []
+    report = compare_bundles(baseline, broken, threshold=0.10)
+    assert not report.ok

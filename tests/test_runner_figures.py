@@ -13,7 +13,7 @@ import pytest
 from repro.experiments.figure4 import run_figure4
 from repro.runner import ExperimentRunner, ResultCache, read_manifest
 
-REDUCED = dict(sizes=(20,), sims_per_size=3, seed=4)
+REDUCED = dict(sizes=(20,), sims=3, seed=4)
 
 
 def test_figure4_jobs1_jobs4_and_cached_run_identical(tmp_path):
@@ -50,14 +50,14 @@ def test_cache_does_not_leak_between_different_sweep_points(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     run_figure4(runner=ExperimentRunner(cache=cache), **REDUCED)
     runner = ExperimentRunner(cache=cache)
-    run_figure4(runner=runner, sizes=(20,), sims_per_size=3, seed=5)
+    run_figure4(runner=runner, sizes=(20,), sims=3, seed=5)
     assert all(report.cache == "miss" for report in runner.reports)
 
 
 @pytest.mark.slow
 def test_figure4_full_scale_parallel_parity():
     """Full-sweep parity check, excluded from tier-1 by the slow marker."""
-    full = dict(sizes=(20, 40, 60), sims_per_size=8, seed=4)
+    full = dict(sizes=(20, 40, 60), sims=8, seed=4)
     serial = run_figure4(runner=ExperimentRunner(jobs=1), **full)
     parallel = run_figure4(runner=ExperimentRunner(jobs=2), **full)
     assert parallel.format_table() == serial.format_table()
