@@ -143,6 +143,11 @@ def fuzz_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
                      help="append a JSONL run manifest here")
 
 
+def lint_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
+    from repro.lint.cli import install_options
+    install_options(sub, defaults)
+
+
 def _make_runner(args):
     """Build the ExperimentRunner a figure command was asked for."""
     from repro.runner import ExperimentRunner, ResultCache
@@ -316,6 +321,13 @@ def _report(args):
     return 0
 
 
+@with_options(lint_options)
+def _lint(args):
+    """SRM-specific static analysis; see docs/static-analysis.md."""
+    from repro.lint.cli import run_lint_command
+    return run_lint_command(args)
+
+
 @with_options(compare_options)
 def _compare(args):
     from repro.metrics import DEFAULT_THRESHOLD, compare_bundles, load_bundle
@@ -345,6 +357,7 @@ COMMANDS: Dict[str, Callable] = {
     "fuzz": _fuzz,
     "report": _report,
     "compare": _compare,
+    "lint": _lint,
 }
 
 #: Figure commands whose results carry a RunMetrics bundle that
@@ -388,7 +401,7 @@ FIGURE_SEEDS = {"figure3": 3, "figure4": 4, "figure5": 5, "figure6": 6,
                 "figure7": 7, "figure8": 8, "figure12": 12,
                 "figure13": 13, "figure14": 4, "figure15": 15,
                 "robustness": 55, "congestion": 0, "fuzz": 7,
-                "report": 0, "compare": 0}
+                "report": 0, "compare": 0, "lint": 0}
 
 
 def _resolve_seed(args) -> None:

@@ -59,7 +59,7 @@ def candidate_drop_edges(network: Network, source: NodeId,
     tree = network.source_tree(source)
     member_set = set(members) - {source}
     needed = set()
-    for member in member_set:
+    for member in sorted(member_set):
         for parent, child in tree.path_edges(member):
             needed.add((parent, child))
     return sorted(needed)

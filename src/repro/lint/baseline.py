@@ -1,0 +1,129 @@
+"""The lint baseline: a ratchet that only ever tightens.
+
+``lint-baseline.json`` records, per file and rule code, how many
+violations are waived because they predate the rule. The contract:
+
+* a lint run may use the baseline to pass with old debt in place;
+* new debt is never absorbed — a (file, code) count above its baseline
+  entry reports the excess as fresh violations;
+* ``repro lint --update-baseline`` only *removes* entries (files fixed,
+  counts shrunk). Asking it to grow the baseline is refused with a
+  distinct exit code; the only way to add debt is to edit the JSON by
+  hand in review.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.violations import Violation
+
+FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Waived-violation counts keyed by (posix path, rule code)."""
+
+    entries: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def waived(self, path: str, code: str) -> int:
+        return self.entries.get(path, {}).get(code, 0)
+
+    def total(self) -> int:
+        return sum(count for codes in self.entries.values()
+                   for count in codes.values())
+
+    def apply(self, violations: list[Violation]
+              ) -> tuple[list[Violation], int, dict[str, dict[str, int]]]:
+        """Split ``violations`` into (reported, waived_count, observed).
+
+        For each (file, code), the first ``waived(file, code)``
+        violations (in line order) are absorbed; the rest are reported.
+        ``observed`` maps file -> code -> count actually seen, which
+        :func:`shrunk` uses to ratchet the baseline down.
+        """
+        observed: dict[str, dict[str, int]] = {}
+        reported: list[Violation] = []
+        waived = 0
+        for violation in sorted(violations,
+                                key=lambda v: (v.path, v.code, v.line)):
+            per_file = observed.setdefault(violation.path, {})
+            seen = per_file.get(violation.code, 0)
+            per_file[violation.code] = seen + 1
+            if seen < self.waived(violation.path, violation.code):
+                waived += 1
+            else:
+                reported.append(violation)
+        reported.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return reported, waived, observed
+
+    def shrunk(self, observed: dict[str, dict[str, int]]) -> "Baseline":
+        """The ratcheted-down baseline implied by a lint run.
+
+        Every entry becomes ``min(baseline, observed)``; zero-count
+        entries and empty files disappear. Entries never grow and are
+        never added — that is the point.
+        """
+        new_entries: dict[str, dict[str, int]] = {}
+        for path, codes in self.entries.items():
+            kept = {}
+            for code, count in codes.items():
+                seen = observed.get(path, {}).get(code, 0)
+                if min(count, seen) > 0:
+                    kept[code] = min(count, seen)
+            if kept:
+                new_entries[path] = kept
+        return Baseline(new_entries)
+
+    def would_grow(self, other: "Baseline") -> list[str]:
+        """Human-readable list of entries in ``other`` beyond ``self``."""
+        grown: list[str] = []
+        for path, codes in other.entries.items():
+            for code, count in codes.items():
+                if count > self.waived(path, code):
+                    grown.append(f"{path}: {code} x{count} "
+                                 f"(baseline {self.waived(path, code)})")
+        return grown
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    file = Path(path)
+    if not file.exists():
+        return Baseline()
+    try:
+        payload = json.loads(file.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{file}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(f"{file}: expected an object with 'entries'")
+    entries: dict[str, dict[str, int]] = {}
+    for raw_path, codes in payload["entries"].items():
+        if not isinstance(codes, dict):
+            raise BaselineError(f"{file}: entry for {raw_path!r} is not "
+                                f"an object")
+        entries[str(raw_path)] = {
+            str(code): int(count) for code, count in codes.items()
+            if int(count) > 0}
+    return Baseline({path: codes for path, codes in entries.items()
+                     if codes})
+
+
+def save_baseline(baseline: Baseline, path: str | Path) -> None:
+    payload = {
+        "version": FORMAT_VERSION,
+        "comment": ("Waived pre-existing lint violations; shrinks via "
+                    "`repro lint --update-baseline`, never grows. "
+                    "See docs/static-analysis.md."),
+        "entries": {
+            file: dict(sorted(codes.items()))
+            for file, codes in sorted(baseline.entries.items())},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False)
+                          + "\n")

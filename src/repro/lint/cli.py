@@ -1,0 +1,131 @@
+"""The ``repro lint`` command.
+
+Exit codes:
+
+* ``0`` — clean (after suppressions and baseline waiving)
+* ``1`` — violations (or an external tool failed)
+* ``2`` — usage / configuration error, including a ``--update-baseline``
+  that would *grow* the baseline (the ratchet refuses)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.baseline import (BaselineError, load_baseline,
+                                 save_baseline)
+from repro.lint.engine import LintEngine
+from repro.lint.external import run_mypy, run_ruff
+from repro.lint.rules import all_rules
+
+DEFAULT_BASELINE = "lint-baseline.json"
+DEFAULT_PATHS = ("src", "tests")
+
+
+def install_options(sub: argparse.ArgumentParser,
+                    defaults: Optional[dict] = None) -> None:
+    """Argparse options for the lint command (used by repro.cli)."""
+    sub.add_argument("paths", nargs="*", default=None,
+                     help="files or directories to lint "
+                          "(default: src tests)")
+    sub.add_argument("--baseline", default=DEFAULT_BASELINE,
+                     metavar="PATH",
+                     help="baseline file (default: %(default)s)")
+    sub.add_argument("--no-baseline", action="store_true",
+                     help="report baselined violations too")
+    sub.add_argument("--update-baseline", action="store_true",
+                     help="shrink the baseline to match reality; "
+                          "refuses to grow it")
+    sub.add_argument("--select", default=None, metavar="CODES",
+                     help="comma-separated rule codes to run "
+                          "(default: all)")
+    sub.add_argument("--list-rules", action="store_true",
+                     help="print every rule code and exit")
+    sub.add_argument("--mypy", action="store_true",
+                     help="also run mypy (skipped if not installed)")
+    sub.add_argument("--ruff", action="store_true",
+                     help="also run ruff check (skipped if not "
+                          "installed)")
+    sub.add_argument("--external", action="store_true",
+                     help="shorthand for --mypy --ruff")
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:<28} {rule.summary}")
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline) \
+            if not args.no_baseline else None
+    except BaselineError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [code.strip().upper() for code in args.select.split(",")
+                  if code.strip()]
+    try:
+        engine = LintEngine(baseline=baseline, select=select)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or list(DEFAULT_PATHS)
+    report = engine.run(paths)
+
+    if args.update_baseline:
+        if baseline is None:
+            print("lint: --update-baseline conflicts with --no-baseline",
+                  file=sys.stderr)
+            return 2
+        shrunk = baseline.shrunk(report.observed)
+        grown = baseline.would_grow(shrunk)
+        if grown:  # defensive: shrunk() cannot grow, but keep the gate
+            print("lint: refusing to grow the baseline:", file=sys.stderr)
+            for line in grown:
+                print(f"  {line}", file=sys.stderr)
+            return 2
+        if report.violations:
+            print("lint: new violations present; fix or suppress them "
+                  "before updating the baseline (the ratchet never "
+                  "absorbs new debt):", file=sys.stderr)
+            print(report.format(), file=sys.stderr)
+            return 2
+        removed = baseline.total() - shrunk.total()
+        save_baseline(shrunk, args.baseline)
+        print(f"baseline updated: {removed} waived violation(s) "
+              f"removed, {shrunk.total()} remain")
+        return 0
+
+    print(report.format())
+
+    exit_code = 0 if report.ok else 1
+    if args.external or args.mypy:
+        result = run_mypy()
+        print(result.format())
+        if not result.ok:
+            exit_code = max(exit_code, 1)
+    if args.external or args.ruff:
+        result = run_ruff()
+        print(result.format())
+        if not result.ok:
+            exit_code = max(exit_code, 1)
+    return exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="SRM-specific static analysis "
+                    "(docs/static-analysis.md)")
+    install_options(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The lint engine: walk files, run rules, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.lint import config
+from repro.lint.baseline import Baseline
+from repro.lint.rules import FileContext, Rule, all_rules
+from repro.lint.suppressions import parse_suppressions
+from repro.lint.violations import Violation
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Everything one lint run learned."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    waived: int = 0
+    parse_errors: list[Violation] = field(default_factory=list)
+    #: file -> code -> count, before baseline waiving (ratchet input).
+    observed: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def format(self, verbose: bool = False) -> str:
+        lines = [v.format() for v in self.parse_errors]
+        lines += [v.format() for v in self.violations]
+        total = len(self.violations) + len(self.parse_errors)
+        summary = (f"{self.files_checked} files checked: "
+                   f"{total} violation{'s' if total != 1 else ''}")
+        extras = []
+        if self.suppressed:
+            extras.append(f"{self.suppressed} suppressed")
+        if self.waived:
+            extras.append(f"{self.waived} waived by baseline")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def iter_python_files(roots: Sequence[str | Path]) -> list[Path]:
+    """Python files under ``roots``, deterministically ordered.
+
+    Explicitly-given roots are always scanned, even when their name
+    matches an excluded directory (so fixture trees can be linted on
+    purpose); excluded names are only skipped while *descending*.
+    """
+    seen: set[Path] = set()
+    files: list[Path] = []
+
+    def add(path: Path) -> None:
+        if path.suffix == ".py" and path not in seen:
+            seen.add(path)
+            files.append(path)
+
+    for root in roots:
+        root = Path(root)
+        if root.is_file():
+            add(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(name for name in dirnames
+                                 if name not in config.EXCLUDED_DIRS)
+            for filename in sorted(filenames):
+                add(Path(dirpath) / filename)
+    files.sort()
+    return files
+
+
+class LintEngine:
+    """Run the rule set over files, with suppressions and a baseline."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None,
+                 baseline: Optional[Baseline] = None,
+                 select: Optional[Iterable[str]] = None) -> None:
+        chosen = list(rules) if rules is not None else list(all_rules())
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - {rule.code for rule in chosen}
+            if unknown:
+                raise ValueError(
+                    f"unknown rule code(s): {', '.join(sorted(unknown))}")
+            chosen = [rule for rule in chosen if rule.code in wanted]
+        self.rules = chosen
+        self.baseline = baseline if baseline is not None else Baseline()
+
+    def check_source(self, path: str, source: str) -> list[Violation]:
+        """Raw rule hits for one in-memory file (no suppressions)."""
+        tree = ast.parse(source, filename=path)
+        ctx = FileContext(path, source, tree)
+        violations: list[Violation] = []
+        for rule in self.rules:
+            if rule.applies_to(ctx):
+                violations.extend(rule.check(ctx))
+        return violations
+
+    def run(self, roots: Sequence[str | Path]) -> LintReport:
+        report = LintReport()
+        all_violations: list[Violation] = []
+        for file in iter_python_files(roots):
+            path = _display_path(file)
+            try:
+                source = file.read_text(encoding="utf-8")
+                raw = self.check_source(path, source)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                report.parse_errors.append(Violation(
+                    path=path, line=line, col=1, code="SRM000",
+                    message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}"))
+                report.files_checked += 1
+                continue
+            report.files_checked += 1
+            table = parse_suppressions(source)
+            kept = []
+            for violation in raw:
+                if table.covers(violation):
+                    report.suppressed += 1
+                else:
+                    kept.append(violation)
+            all_violations.extend(kept)
+        reported, waived, observed = self.baseline.apply(all_violations)
+        report.violations = reported
+        report.waived = waived
+        report.observed = observed
+        return report
+
+
+def _display_path(file: Path) -> str:
+    """Posix path relative to cwd when possible (stable baseline keys)."""
+    try:
+        relative = file.resolve().relative_to(Path.cwd().resolve())
+        return relative.as_posix()
+    except ValueError:
+        return file.as_posix()
+
+
+def lint_paths(roots: Sequence[str | Path],
+               baseline: Optional[Baseline] = None,
+               select: Optional[Iterable[str]] = None) -> LintReport:
+    """One-call convenience: lint ``roots`` and return the report."""
+    return LintEngine(baseline=baseline, select=select).run(roots)

@@ -1,0 +1,200 @@
+"""SRM001/SRM002 — the determinism core: randomness, clocks, set order.
+
+These rules police the repo's reproducibility contract: every draw
+flows through :class:`repro.sim.rng.RandomSource`, every timestamp
+through the scheduler clock, and nothing whose order reaches the event
+stream may depend on hash order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint import config
+from repro.lint.rules import FileContext, Rule, register
+from repro.lint.violations import Violation
+
+#: attribute accesses on these module aliases are nondeterminism, full
+#: stop: the module-level RNG is unseeded process state.
+_RANDOM_MODULES = {"random", "numpy.random"}
+
+#: (module, attribute) pairs that read the wall clock or OS entropy.
+_FORBIDDEN_ATTRS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("os", "urandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class NondeterministicSourceRule(Rule):
+    """SRM001: unseeded randomness or wall-clock reads in domain code."""
+
+    code = "SRM001"
+    name = "nondeterministic-source"
+    summary = ("randomness must flow through repro.sim.rng, time through "
+               "the scheduler clock")
+    domain_only = True
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if config.matches_module(ctx.path, config.RNG_BOUNDARY):
+            return False  # repro.sim.rng IS the blessed boundary
+        return super().applies_to(ctx)
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        aliases = self._module_aliases(ctx.tree)
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                names = ", ".join(alias.name for alias in node.names)
+                out.append(self.violation(
+                    ctx, node,
+                    f"import of unseeded randomness ({names}) from "
+                    f"'random'; route draws through "
+                    f"repro.sim.rng.RandomSource"))
+                continue
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = _dotted(node)
+            if dotted is None:
+                continue
+            head, _, attr = dotted.rpartition(".")
+            module = aliases.get(head)
+            if module is None:
+                # Resolve a leading alias: ``np.random`` -> numpy.random.
+                first, _, rest = head.partition(".")
+                base = aliases.get(first, first)
+                module = f"{base}.{rest}" if rest else base
+            if module in _RANDOM_MODULES:
+                out.append(self.violation(
+                    ctx, node,
+                    f"unseeded randomness '{dotted}'; route draws "
+                    f"through repro.sim.rng.RandomSource"))
+            elif (module.rpartition(".")[2], attr) in _FORBIDDEN_ATTRS \
+                    and module.split(".")[0] in {"time", "datetime", "os",
+                                                 "uuid"}:
+                out.append(self.violation(
+                    ctx, node,
+                    f"wall-clock / OS-entropy read '{dotted}'; simulation "
+                    f"time comes from the scheduler clock"))
+        return out
+
+    @staticmethod
+    def _module_aliases(tree: ast.Module) -> dict[str, str]:
+        """Local alias -> canonical module name, from import statements."""
+        aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    aliases[item.asname or item.name] = item.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for item in node.names:
+                    aliases[item.asname or item.name] = \
+                        f"{node.module}.{item.name}"
+        return aliases
+
+
+def _is_set_expr(node: ast.AST, assigned_sets: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in {"set", "frozenset"}:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_is_set_expr(node.left, assigned_sets)
+                or _is_set_expr(node.right, assigned_sets))
+    if isinstance(node, ast.Name):
+        return node.id in assigned_sets
+    return False
+
+
+@register
+class UnorderedSetIterationRule(Rule):
+    """SRM002: iterating a set feeds hash order into the event stream."""
+
+    code = "SRM002"
+    name = "unordered-set-iteration"
+    summary = "wrap set iteration in sorted(...) or keep a dict/list"
+    domain_only = True
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        assigned = self._statically_set_names(ctx.tree)
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name) and node.func.id in {
+                        "list", "tuple"} and node.args:
+                iters.append(node.args[0])
+            for candidate in iters:
+                if not _is_set_expr(candidate, assigned):
+                    continue
+                if self._order_insensitive(ctx, node):
+                    continue
+                out.append(self.violation(
+                    ctx, candidate,
+                    "iteration over an unordered set; hash order is "
+                    "per-process — iterate sorted(...) or use a dict"))
+        return out
+
+    @staticmethod
+    def _statically_set_names(tree: ast.Module) -> set[str]:
+        """Names whose every assignment in the file is a set expression."""
+        set_names: set[str] = set()
+        other_names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                bucket = (set_names if _is_set_expr(node.value, set())
+                          else other_names)
+                bucket.add(node.targets[0].id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name) and node.value is not None:
+                bucket = (set_names if _is_set_expr(node.value, set())
+                          else other_names)
+                bucket.add(node.target.id)
+        return set_names - other_names
+
+    def _order_insensitive(self, ctx: FileContext, node: ast.AST) -> bool:
+        """True when the surrounding expression discards iteration order."""
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name) \
+                and parent.func.id in {"sorted", "sum", "min", "max", "len",
+                                       "set", "frozenset", "any", "all"}:
+            return True
+        # ``sorted(x for x in some_set)`` / ``{x for x in some_set}``:
+        # a set-comprehension result is itself unordered until consumed,
+        # and a generator fed straight into sorted() is fine.
+        if isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.GeneratorExp) and isinstance(
+                parent, ast.Call) and isinstance(parent.func, ast.Name) \
+                and parent.func.id in {"sorted", "sum", "min", "max",
+                                       "any", "all", "set", "frozenset"}:
+            return True
+        return False

@@ -1,0 +1,142 @@
+"""SRM005/SRM006 — the hot-path invariants from docs/performance.md.
+
+PR 2 bought its kernel speedups with ``__slots__`` layouts and
+``trace.enabled`` guards; these rules turn those one-off optimizations
+into enforced invariants so a later edit cannot quietly regress them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint import config
+from repro.lint.rules import FileContext, Rule, register
+from repro.lint.violations import Violation
+
+#: Base-class name fragments that make __slots__ pointless or illegal.
+_EXEMPT_BASE_HINTS = ("Exception", "Error", "Warning", "Enum", "Protocol",
+                      "NamedTuple", "TypedDict")
+
+
+def _dataclass_slots(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else ""
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if keyword.arg == "slots" and isinstance(
+                    keyword.value, ast.Constant) and \
+                    keyword.value.value is True:
+                return True
+    return False
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _exempt_bases(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        text = ast.unparse(base)
+        if any(hint in text for hint in _EXEMPT_BASE_HINTS):
+            return True
+    return False
+
+
+@register
+class HotPathSlotsRule(Rule):
+    """SRM005: classes in hot-path modules must declare ``__slots__``."""
+
+    code = "SRM005"
+    name = "hot-path-slots"
+    summary = "packet/event/trace classes carry __slots__ (docs/performance.md)"
+    domain_only = True
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return config.matches_module(ctx.path,
+                                     config.HOT_PATH_SLOTS_MODULES)
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _declares_slots(node) or _dataclass_slots(node) \
+                    or _exempt_bases(node):
+                continue
+            out.append(self.violation(
+                ctx, node,
+                f"class {node.name} in a hot-path module has no "
+                f"__slots__; instances here are allocated per "
+                f"packet/event (see docs/performance.md)"))
+        return out
+
+
+def _receiver_mentions_trace(node: ast.expr) -> bool:
+    text = ast.unparse(node).lower()
+    return "trace" in text
+
+
+@register
+class UnguardedTraceRecordRule(Rule):
+    """SRM006: ``Trace.record`` on the hot path behind ``trace.enabled``."""
+
+    code = "SRM006"
+    name = "unguarded-trace-record"
+    summary = "guard hot-path Trace.record with `if trace.enabled:`"
+    domain_only = True
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return config.matches_module(ctx.path,
+                                     config.HOT_PATH_TRACE_MODULES)
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "record"
+                    and _receiver_mentions_trace(func.value)):
+                continue
+            if self._guarded(ctx, node):
+                continue
+            out.append(self.violation(
+                ctx, node,
+                "Trace.record on the hot path without a trace.enabled "
+                "guard; building the detail dict costs even when "
+                "tracing is off (see docs/performance.md)"))
+        return out
+
+    @staticmethod
+    def _guard_expr_checks_enabled(test: ast.expr) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr == "enabled" \
+                    and _receiver_mentions_trace(sub.value):
+                return True
+        return False
+
+    def _guarded(self, ctx: FileContext, node: ast.Call) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                return False  # left the statement's function: unguarded
+            if isinstance(ancestor, (ast.If, ast.IfExp, ast.While)) and \
+                    self._guard_expr_checks_enabled(ancestor.test):
+                return True
+        return False

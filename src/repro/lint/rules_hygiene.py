@@ -1,0 +1,115 @@
+"""SRM003/SRM004 — generic hygiene with simulation-specific stakes.
+
+A mutable default argument is a classic Python foot-gun anywhere; here
+it is also shared state that couples runs. Exact equality between
+simulation-time floats is the other silent killer: two timers that
+"obviously" fire together differ in the last ulp after a different
+summation order, and the comparison flips.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import FileContext, Rule, register
+from repro.lint.violations import Violation
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "deque", "Counter", "OrderedDict"}
+
+#: Attribute names that hold simulation-time floats in this codebase.
+#: (Scheduler clock, timer expiries, packet timestamps.)
+_TIME_ATTRS = {"now", "expiry", "set_at", "sent_at", "deadline"}
+
+#: Bare names treated as simulation times (locals like ``now = sched.now``).
+_TIME_NAMES = {"now", "sim_time", "expiry", "deadline"}
+
+
+@register
+class MutableDefaultRule(Rule):
+    """SRM003: mutable default arguments are shared across calls."""
+
+    code = "SRM003"
+    name = "mutable-default-argument"
+    summary = "default to None and construct inside the function"
+    domain_only = False
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    out.append(self.violation(
+                        ctx, default,
+                        f"mutable default argument in {node.name}(); one "
+                        f"instance is shared by every call — default to "
+                        f"None and build inside"))
+        return out
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else ""
+            return name in _MUTABLE_CALLS
+        return False
+
+
+def _is_time_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr in _TIME_ATTRS:
+        return True
+    if isinstance(node, ast.Name) and node.id in _TIME_NAMES:
+        return True
+    return False
+
+
+@register
+class SimTimeEqualityRule(Rule):
+    """SRM004: ``==``/``!=`` on simulation-time floats."""
+
+    code = "SRM004"
+    name = "sim-time-float-equality"
+    summary = "compare simulation times with ordering or a tolerance"
+    domain_only = True
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if not (_is_time_expr(left) or _is_time_expr(right)):
+                    continue
+                if self._none_or_sentinel(left) or \
+                        self._none_or_sentinel(right):
+                    continue
+                out.append(self.violation(
+                    ctx, node,
+                    "equality comparison between simulation-time floats; "
+                    "float time arithmetic is order-sensitive — use "
+                    "ordering (<=) or an explicit tolerance"))
+        return out
+
+    @staticmethod
+    def _none_or_sentinel(node: ast.expr) -> bool:
+        # ``x.expiry == None``-style checks and integer sentinels (-1, 0)
+        # compare identity-like states, not computed times.
+        if isinstance(node, ast.Constant):
+            return node.value is None or isinstance(node.value, int) \
+                and not isinstance(node.value, bool)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub) \
+                and isinstance(node.operand, ast.Constant):
+            return isinstance(node.operand.value, int)
+        return False

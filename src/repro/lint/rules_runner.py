@@ -1,0 +1,89 @@
+"""SRM007 — runner.Task payloads must survive pickling.
+
+A :class:`repro.runner.Task` is shipped to worker processes and its
+arguments are fingerprinted for the content-addressed result cache.
+Lambdas and nested functions pickle by reference to a name that does
+not exist in the worker; open handles don't pickle at all. Both fail
+late — in a worker, only under ``--jobs N`` — so catch them statically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import FileContext, Rule, register
+from repro.lint.violations import Violation
+
+
+@register
+class UnpicklableTaskPayloadRule(Rule):
+    """SRM007: no lambdas / nested defs / open handles in Task(...)."""
+
+    code = "SRM007"
+    name = "unpicklable-task-payload"
+    summary = "Task fn/kwargs must be module-level functions and plain data"
+    domain_only = True
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        nested = self._nested_function_names(ctx.tree)
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else ""
+            if name != "Task":
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                out.extend(self._scan_payload(ctx, arg, nested))
+        return out
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> set[str]:
+        """Names of functions defined inside another function's body."""
+        names: set[str] = set()
+
+        class _Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.depth = 0
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                if self.depth:
+                    names.add(node.name)
+                self.depth += 1
+                self.generic_visit(node)
+                self.depth -= 1
+
+            visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+        _Visitor().visit(tree)
+        return names
+
+    def _scan_payload(self, ctx: FileContext, arg: ast.expr,
+                      nested: set[str]) -> list[Violation]:
+        out: list[Violation] = []
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Lambda):
+                out.append(self.violation(
+                    ctx, sub,
+                    "lambda in a Task payload; lambdas pickle by name "
+                    "and have none — use a module-level function"))
+            elif isinstance(sub, ast.Name) and sub.id in nested:
+                out.append(self.violation(
+                    ctx, sub,
+                    f"nested function '{sub.id}' in a Task payload; it "
+                    f"is invisible to worker processes — hoist it to "
+                    f"module level"))
+            elif isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Name) and sub.func.id == "open":
+                out.append(self.violation(
+                    ctx, sub,
+                    "open file handle in a Task payload; handles do not "
+                    "pickle — pass the path and open in the task"))
+            elif isinstance(sub, ast.GeneratorExp):
+                out.append(self.violation(
+                    ctx, sub,
+                    "generator in a Task payload; generators do not "
+                    "pickle — materialize a list"))
+        return out

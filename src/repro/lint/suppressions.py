@@ -1,0 +1,64 @@
+"""``# lint: ignore[...]`` comment parsing.
+
+Two forms, both carrying explicit rule codes (a bare blanket ignore is
+deliberately not supported — suppressions should say what they waive):
+
+* line-level: ``something()  # lint: ignore[SRM001]`` waives the named
+  codes for violations reported on that physical line;
+* file-level: ``# lint: ignore-file[SRM005]`` on a line of its own
+  anywhere in the first :data:`FILE_SCOPE_LINES` lines waives the named
+  codes for the whole file.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.violations import Violation
+
+_LINE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+_FILE_RE = re.compile(r"#\s*lint:\s*ignore-file\[([A-Z0-9,\s]+)\]")
+
+#: File-level ignores must appear near the top, where a reader looks.
+FILE_SCOPE_LINES = 10
+
+
+def _codes(match_text: str) -> frozenset[str]:
+    return frozenset(code.strip() for code in match_text.split(",")
+                     if code.strip())
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """Per-file suppression tables parsed from comments."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_wide: frozenset[str] = frozenset()
+    #: (line, code) pairs that actually waived a violation.
+    used: set[tuple[int, str]] = field(default_factory=set)
+
+    def covers(self, violation: Violation) -> bool:
+        if violation.code in self.file_wide:
+            self.used.add((0, violation.code))
+            return True
+        codes = self.by_line.get(violation.line)
+        if codes is not None and violation.code in codes:
+            self.used.add((violation.line, violation.code))
+            return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    table = Suppressions()
+    file_codes: set[str] = set()
+    for number, line in enumerate(source.splitlines(), start=1):
+        file_match = _FILE_RE.search(line)
+        if file_match and number <= FILE_SCOPE_LINES:
+            file_codes.update(_codes(file_match.group(1)))
+            continue
+        line_match = _LINE_RE.search(line)
+        if line_match:
+            table.by_line[number] = _codes(line_match.group(1))
+    table.file_wide = frozenset(file_codes)
+    return table

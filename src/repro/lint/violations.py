@@ -1,0 +1,32 @@
+"""The unit of lint output: one violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule hit, pointing at ``path:line:col``.
+
+    ``path`` is recorded exactly as the engine walked it (normally
+    relative to the repository root), because it doubles as the baseline
+    key and baselines must be stable across machines.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def baseline_key(self) -> tuple[str, str]:
+        """Baselines waive by (file, rule code), never by line number."""
+        return (self.path, self.code)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()

@@ -208,7 +208,9 @@ class MetricsCollector:
             raise MetricsConsistencyError(
                 f"metrics collector saw events {sorted(map(str, self._events))}"
                 f" but the trace holds {sorted(map(str, offline_names))}")
-        for name in offline_names:
+        # Sorted so a multi-event mismatch always raises on the same
+        # event regardless of set hash order.
+        for name in sorted(offline_names, key=str):
             report = analyze_loss_event(trace, name)
             event = self._events[name]
             observed = (event.requests, event.repairs,

@@ -26,10 +26,11 @@ packets race toward the same link.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, \
+    Tuple, Union
 
 from repro.mcast.groups import GroupManager
-from repro.net.link import Link
+from repro.net.link import DropFilter, Link
 from repro.net.node import Agent, Node
 from repro.net.packet import DEFAULT_TTL, GroupAddress, NodeId, Packet
 from repro.net.routing import SourceTree, build_source_tree
@@ -120,7 +121,8 @@ class Network:
         except KeyError:
             raise KeyError(f"no link between {a} and {b}") from None
 
-    def add_drop_filter(self, a: NodeId, b: NodeId, drop_filter) -> None:
+    def add_drop_filter(self, a: NodeId, b: NodeId,
+                        drop_filter: DropFilter) -> None:
         """Arm a drop filter on the link between a and b."""
         link = self.link_between(a, b)
         link.add_filter(drop_filter)
@@ -219,14 +221,14 @@ class Network:
                 self._unicast_hop(packet.origin, packet)
 
     def send_unicast(self, src: NodeId, dst: NodeId, kind: str,
-                     payload=None, size: int = 1000) -> Packet:
+                     payload: Any = None, size: int = 1000) -> Packet:
         packet = Packet(origin=src, dst=dst, kind=kind, payload=payload,
                         size=size)
         self.send(packet)
         return packet
 
     def send_multicast(self, src: NodeId, group: GroupAddress, kind: str,
-                       payload=None, ttl: int = DEFAULT_TTL,
+                       payload: Any = None, ttl: int = DEFAULT_TTL,
                        size: int = 1000,
                        scope_zone: Optional[str] = None) -> Packet:
         packet = Packet(origin=src, dst=group, kind=kind, payload=payload,
@@ -315,7 +317,9 @@ class Network:
             order += 1
         eligible.sort()  # by delay; order index keeps the sort stable
         entries: List[PlanEntry] = []
-        run_dist = run_hops = None
+        # -1 sentinels (no member has negative delay/hops) keep the run
+        # state monomorphic floats/ints.
+        run_dist, run_hops = -1.0, -1
         run_members: List[NodeId] = []
         for member_dist, _, member in eligible:
             member_hops = hops[member]
@@ -404,8 +408,8 @@ class Network:
             self._account_multicast(tree, packet, members, cuts)
 
     def _account_multicast(self, tree: SourceTree, packet: Packet,
-                           members: Set[NodeId],
-                           cuts: List[Set[NodeId]]) -> None:
+                           members: Sequence[NodeId],
+                           cuts: Sequence[Set[NodeId]]) -> None:
         """Charge each traversed link once, on the pruned member tree.
 
         The multicast flows along the source tree pruned to the members

@@ -8,12 +8,13 @@ handed to each attached agent's :meth:`Agent.receive`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.net.packet import NodeId, Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.network import Network
+    from repro.sim.scheduler import EventScheduler
 
 
 class Agent:
@@ -26,7 +27,8 @@ class Agent:
     def __init__(self) -> None:
         self.node_id: NodeId = -1
         self.network: "Network" = None  # type: ignore[assignment]
-        self._scheduler = None  # bound at attach; hot clock reads skip hops
+        #: Bound at attach; hot clock reads skip the network indirection.
+        self._scheduler: Optional["EventScheduler"] = None
 
     def attached(self, network: "Network", node_id: NodeId) -> None:
         """Hook called when the agent is bound to a node."""
@@ -40,7 +42,9 @@ class Agent:
 
     @property
     def now(self) -> float:
-        return self._scheduler.now
+        # Only meaningful after attach(); unguarded because this is the
+        # hottest clock read in the simulator.
+        return self._scheduler.now  # type: ignore[union-attr]
 
 
 class Node:

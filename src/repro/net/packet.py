@@ -20,7 +20,7 @@ NodeId = int
 _packet_uids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupAddress:
     """A multicast group address.
 

@@ -37,7 +37,9 @@ class RunManifest:
         self._handle.flush()
 
     def header(self, **info: Any) -> None:
-        row = {"type": "header", "time": time.time()}
+        # Wall-clock on purpose: manifests record when a run happened in
+        # the real world; nothing simulated reads this.
+        row = {"type": "header", "time": time.time()}  # lint: ignore[SRM001]
         row.update(info)
         self._write(row)
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import contextlib
 import time
-from typing import Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 
 class PerfCounters:
@@ -66,7 +66,7 @@ class PerfCounters:
         by_kind = self.packets_by_kind
         by_kind[kind] = by_kind.get(kind, 0) + 1
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         """Flat dict snapshot (stable keys; used by tests and tooling)."""
         return {
             "events_scheduled": self.events_scheduled,

@@ -41,7 +41,7 @@ class RandomSource:
     def sample(self, items: Sequence[T], count: int) -> list[T]:
         return self._rng.sample(items, count)
 
-    def shuffle(self, items: list) -> None:
+    def shuffle(self, items: list[T]) -> None:
         self._rng.shuffle(items)
 
     def expovariate(self, rate: float) -> float:

@@ -24,7 +24,7 @@ Two hot-path design decisions, both invisible to callers:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.sim import perf
 
@@ -49,8 +49,8 @@ class Event:
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sched")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple,
-                 sched: Optional["EventScheduler"] = None):
+                 callback: Callable[..., Any], args: Tuple[Any, ...],
+                 sched: Optional["EventScheduler"] = None) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -84,6 +84,10 @@ class EventScheduler:
         sched.schedule(1.5, node.receive, packet)
         sched.run(until=100.0)
     """
+
+    __slots__ = ("_heap", "_next_seq", "_now", "_running",
+                 "_events_processed", "_cancelled_in_heap",
+                 "_heap_rebuilds", "perf")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []

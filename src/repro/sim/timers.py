@@ -31,6 +31,9 @@ class Timer:
     timer will fire (or fired / was going to fire).
     """
 
+    __slots__ = ("_scheduler", "_callback", "name", "_event", "_state",
+                 "expiry", "set_at")
+
     def __init__(self, scheduler: EventScheduler,
                  callback: Callable[[], Any], name: str = "") -> None:
         self._scheduler = scheduler

@@ -19,7 +19,7 @@ class TraceRecord:
     time: float
     node: Any          # node id of the agent that emitted the record
     kind: str          # e.g. "send_request", "recv_repair", "loss_detected"
-    detail: dict = field(default_factory=dict, compare=False)
+    detail: dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __str__(self) -> str:
         extras = " ".join(f"{key}={value}" for key, value in self.detail.items())
@@ -29,11 +29,14 @@ class TraceRecord:
 class Trace:
     """An append-only log of :class:`TraceRecord` rows with simple queries."""
 
+    __slots__ = ("enabled", "records", "_listeners")
+
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.records: list[TraceRecord] = []
         self._listeners: list[
-            tuple[Callable[[TraceRecord], None], Optional[frozenset]]] = []
+            tuple[Callable[[TraceRecord], None],
+                  Optional[frozenset[str]]]] = []
 
     def record(self, time: float, node: Any, kind: str, **detail: Any) -> None:
         """Append a record (no-op when tracing is disabled)."""

@@ -1,0 +1,13 @@
+"""Fixture: hot-path Trace.record behind the required guard."""
+
+
+class Delivery:
+    __slots__ = ("trace", "scheduler")
+
+    def __init__(self, trace, scheduler) -> None:
+        self.trace = trace
+        self.scheduler = scheduler
+
+    def deliver(self, node: int) -> None:
+        if self.trace.enabled:
+            self.trace.record(self.scheduler.now, node, "deliver")

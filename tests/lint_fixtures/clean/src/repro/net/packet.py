@@ -1,0 +1,19 @@
+"""Fixture: hot-path classes with the required __slots__ layouts."""
+
+from dataclasses import dataclass
+
+
+class SlottedPacket:
+    __slots__ = ("origin",)
+
+    def __init__(self, origin: int) -> None:
+        self.origin = origin
+
+
+@dataclass(frozen=True, slots=True)
+class SlottedAddress:
+    gid: int
+
+
+class FixtureError(RuntimeError):
+    """Exception classes are exempt from the slots requirement."""

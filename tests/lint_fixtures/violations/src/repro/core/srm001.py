@@ -1,0 +1,12 @@
+"""Fixture: SRM001 — unseeded randomness and wall-clock reads."""
+
+import random
+import time
+
+
+def draw() -> float:
+    return random.random()  # line 8: SRM001
+
+
+def stamp() -> float:
+    return time.time()  # line 12: SRM001

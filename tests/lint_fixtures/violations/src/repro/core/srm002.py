@@ -1,0 +1,9 @@
+"""Fixture: SRM002 — iteration over an unordered set."""
+
+
+def emit(members: list) -> list:
+    pending = set(members)
+    out = []
+    for member in pending:  # line 7: SRM002
+        out.append(member)
+    return out

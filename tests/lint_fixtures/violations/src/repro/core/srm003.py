@@ -1,0 +1,6 @@
+"""Fixture: SRM003 — mutable default argument."""
+
+
+def collect(item: int, into: list = []) -> list:  # line 4: SRM003
+    into.append(item)
+    return into

@@ -1,0 +1,5 @@
+"""Fixture: SRM004 — equality between simulation-time floats."""
+
+
+def fired_together(timer_a, timer_b) -> bool:
+    return timer_a.expiry == timer_b.expiry  # line 5: SRM004

@@ -1,0 +1,8 @@
+"""Fixture: SRM007 — unpicklable Task payload."""
+
+from repro.runner.task import Task
+
+
+def build() -> Task:
+    return Task(experiment="fixture", index=0,
+                fn=lambda: 1)  # line 8: SRM007

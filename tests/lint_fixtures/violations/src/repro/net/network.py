@@ -1,0 +1,10 @@
+"""Fixture: SRM006 — unguarded hot-path Trace.record."""
+
+
+class Delivery:
+    def __init__(self, trace, scheduler) -> None:
+        self.trace = trace
+        self.scheduler = scheduler
+
+    def deliver(self, node: int) -> None:
+        self.trace.record(self.scheduler.now, node, "deliver")  # line 10

@@ -1,0 +1,6 @@
+"""Fixture: SRM005 — hot-path class without __slots__."""
+
+
+class BarePacket:  # line 4: SRM005
+    def __init__(self, origin: int) -> None:
+        self.origin = origin

@@ -1,0 +1,276 @@
+"""repro.lint: rule firing, suppressions, baseline ratchet, CLI codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import LintEngine, lint_paths, load_baseline, rule_codes
+from repro.lint.baseline import Baseline, save_baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.config import in_domain, module_key
+from repro.lint.engine import iter_python_files
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+VIOLATIONS_TREE = FIXTURES / "violations"
+CLEAN_TREE = FIXTURES / "clean"
+SUPPRESSED_TREE = FIXTURES / "suppressed"
+
+#: rule code -> (fixture file, expected line of the first hit)
+EXPECTED_HITS = {
+    "SRM001": ("src/repro/core/srm001.py", 8),
+    "SRM002": ("src/repro/core/srm002.py", 7),
+    "SRM003": ("src/repro/core/srm003.py", 4),
+    "SRM004": ("src/repro/core/srm004.py", 5),
+    "SRM005": ("src/repro/net/packet.py", 4),
+    "SRM006": ("src/repro/net/network.py", 10),
+    "SRM007": ("src/repro/core/srm007.py", 8),
+}
+
+
+# ----------------------------------------------------------------------
+# Rule firing.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_HITS))
+def test_rule_fires_at_expected_line(code):
+    relpath, line = EXPECTED_HITS[code]
+    report = lint_paths([VIOLATIONS_TREE / relpath])
+    hits = [v for v in report.violations if v.code == code]
+    assert hits, f"{code} did not fire on {relpath}"
+    assert hits[0].line == line
+    assert code in hits[0].format()
+
+
+def test_every_rule_code_fires_on_the_violations_tree():
+    report = lint_paths([VIOLATIONS_TREE])
+    fired = {v.code for v in report.violations}
+    assert fired == set(rule_codes())
+
+
+def test_clean_tree_is_clean():
+    report = lint_paths([CLEAN_TREE])
+    assert report.ok, report.format()
+    assert report.files_checked >= 3
+
+
+def test_repo_is_clean():
+    repo_root = Path(__file__).parent.parent
+    report = lint_paths([repo_root / "src", repo_root / "tests"],
+                        baseline=load_baseline(
+                            repo_root / "lint-baseline.json"))
+    assert report.ok, report.format()
+
+
+def test_srm001_aliased_numpy_and_from_import():
+    engine = LintEngine()
+    src = ("import numpy as np\n"
+           "from random import choice\n"
+           "def f(xs):\n"
+           "    return choice(xs), np.random.rand()\n")
+    codes = [v.code for v in engine.check_source("src/repro/core/x.py", src)]
+    assert codes.count("SRM001") == 2
+
+
+def test_srm002_sorted_iteration_is_clean():
+    engine = LintEngine()
+    src = ("def f(xs):\n"
+           "    for x in sorted(set(xs)):\n"
+           "        print(x)\n"
+           "    return sum(set(xs)), len(set(xs))\n")
+    assert engine.check_source("src/repro/core/x.py", src) == []
+
+
+def test_srm004_none_and_sentinel_comparisons_are_clean():
+    engine = LintEngine()
+    src = ("def f(timer):\n"
+           "    return timer.expiry == None or timer.expiry != -1\n")
+    assert engine.check_source("src/repro/core/x.py", src) == []
+
+
+def test_domain_rules_skip_non_domain_files():
+    engine = LintEngine()
+    src = "import random\nx = random.random()\n"
+    # Same source: flagged inside repro/**, ignored outside it.
+    assert engine.check_source("src/repro/core/x.py", src)
+    assert engine.check_source("tools/script.py", src) == []
+    # ... but generic hygiene still applies outside the domain.
+    hygiene = "def f(x=[]):\n    return x\n"
+    codes = [v.code for v in engine.check_source("tools/script.py", hygiene)]
+    assert codes == ["SRM003"]
+
+
+def test_rng_module_is_the_blessed_boundary():
+    engine = LintEngine()
+    src = "import random\nrng = random.Random(3)\n"
+    assert engine.check_source("src/repro/sim/rng.py", src) == []
+
+
+def test_module_key_matches_fixture_and_real_trees():
+    assert module_key("src/repro/net/packet.py") == "repro/net/packet.py"
+    assert module_key(
+        "tests/lint_fixtures/violations/src/repro/net/packet.py"
+    ) == "repro/net/packet.py"
+    assert not in_domain("tests/test_lint.py")
+
+
+def test_syntax_error_reports_srm000(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    report = lint_paths([bad])
+    assert not report.ok
+    assert report.parse_errors[0].code == "SRM000"
+
+
+def test_fixture_dirs_are_excluded_from_walks_but_lintable_directly():
+    walked = iter_python_files([FIXTURES.parent])  # tests/
+    assert not any("lint_fixtures" in str(path) for path in walked)
+    direct = iter_python_files([VIOLATIONS_TREE])
+    assert len(direct) >= len(EXPECTED_HITS)
+
+
+# ----------------------------------------------------------------------
+# Suppressions.
+# ----------------------------------------------------------------------
+
+
+def test_line_and_file_suppressions_waive_violations():
+    report = lint_paths([SUPPRESSED_TREE])
+    assert report.ok, report.format()
+    assert report.suppressed == 2
+
+
+def test_suppression_must_name_the_right_code():
+    engine = LintEngine()
+    src = ("import time\n"
+           "def f():\n"
+           "    return time.time()  # lint: ignore[SRM999]\n")
+    report_codes = [v.code
+                    for v in engine.check_source("src/repro/core/x.py", src)]
+    assert report_codes == ["SRM001"]  # wrong code: not waived
+
+
+def test_file_suppression_only_near_top(tmp_path):
+    tree = tmp_path / "src" / "repro" / "core"
+    tree.mkdir(parents=True)
+    body = "\n" * 20 + "# lint: ignore-file[SRM001]\nimport time\n" \
+        + "t = time.time()\n"
+    (tree / "late.py").write_text(body)
+    report = lint_paths([tmp_path])
+    assert [v.code for v in report.violations] == ["SRM001"]
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet.
+# ----------------------------------------------------------------------
+
+
+def _violating_tree(tmp_path: Path) -> Path:
+    tree = tmp_path / "src" / "repro" / "core"
+    tree.mkdir(parents=True)
+    (tree / "old.py").write_text("import time\nt = time.time()\n")
+    return tmp_path
+
+
+def _baseline_for(tmp_path: Path, entries) -> Path:
+    path = tmp_path / "lint-baseline.json"
+    save_baseline(Baseline(entries), path)
+    return path
+
+
+def test_baseline_waives_exactly_its_count(tmp_path, monkeypatch):
+    root = _violating_tree(tmp_path)
+    monkeypatch.chdir(root)
+    key = "src/repro/core/old.py"
+    report = lint_paths(["src"],
+                        baseline=Baseline({key: {"SRM001": 1}}))
+    assert report.ok
+    assert report.waived == 1
+    # A second violation in the same file exceeds the waived count.
+    (root / key).write_text(
+        "import time\nt = time.time()\nu = time.time()\n")
+    report = lint_paths(["src"],
+                        baseline=Baseline({key: {"SRM001": 1}}))
+    assert [v.code for v in report.violations] == ["SRM001"]
+    assert report.waived == 1
+
+
+def test_update_baseline_shrinks_and_never_grows(tmp_path, monkeypatch):
+    root = _violating_tree(tmp_path)
+    monkeypatch.chdir(root)
+    key = "src/repro/core/old.py"
+    baseline_path = _baseline_for(
+        root, {key: {"SRM001": 2},
+               "src/repro/core/gone.py": {"SRM003": 1}})
+    # The file now has 1 violation (baseline says 2) and gone.py no
+    # longer exists: both entries must shrink away.
+    assert lint_main(["src", "--baseline", str(baseline_path),
+                      "--update-baseline"]) == 0
+    ratcheted = load_baseline(baseline_path)
+    assert ratcheted.entries == {key: {"SRM001": 1}}
+
+
+def test_update_baseline_refuses_new_debt(tmp_path, monkeypatch, capsys):
+    root = _violating_tree(tmp_path)
+    monkeypatch.chdir(root)
+    baseline_path = _baseline_for(root, {})  # empty: violation is new
+    assert lint_main(["src", "--baseline", str(baseline_path),
+                      "--update-baseline"]) == 2
+    assert "never absorbs new debt" in capsys.readouterr().err
+    assert load_baseline(baseline_path).entries == {}  # untouched
+
+
+def test_shrunk_baseline_cannot_add_entries():
+    baseline = Baseline({"a.py": {"SRM001": 1}})
+    observed = {"a.py": {"SRM001": 5}, "b.py": {"SRM003": 2}}
+    shrunk = baseline.shrunk(observed)
+    assert shrunk.entries == {"a.py": {"SRM001": 1}}
+    assert baseline.would_grow(shrunk) == []
+
+
+def test_malformed_baseline_is_a_usage_error(tmp_path, monkeypatch):
+    root = _violating_tree(tmp_path)
+    monkeypatch.chdir(root)
+    bad = root / "lint-baseline.json"
+    bad.write_text("not json")
+    assert lint_main(["src", "--baseline", str(bad)]) == 2
+
+
+# ----------------------------------------------------------------------
+# CLI.
+# ----------------------------------------------------------------------
+
+
+def test_cli_exit_codes():
+    assert repro_main(["lint", str(CLEAN_TREE)]) == 0
+    assert repro_main(["lint", str(VIOLATIONS_TREE)]) == 1
+
+
+def test_cli_select_unknown_code_is_usage_error():
+    assert lint_main([str(CLEAN_TREE), "--select", "SRM999"]) == 2
+
+
+def test_cli_select_runs_only_named_rules():
+    assert lint_main([str(VIOLATIONS_TREE), "--select", "SRM003"]) == 1
+    assert lint_main([str(VIOLATIONS_TREE / "src/repro/core/srm001.py"),
+                      "--select", "SRM003"]) == 0
+
+
+def test_cli_list_rules(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in rule_codes():
+        assert code in out
+
+
+def test_committed_baseline_file_is_valid():
+    path = Path(__file__).parent.parent / "lint-baseline.json"
+    baseline = load_baseline(path)
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    # The ratchet's goal state: the tree is clean, debt only shrinks.
+    assert baseline.total() == 0
