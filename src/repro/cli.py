@@ -12,8 +12,17 @@ Usage::
     python -m repro report figure3 --sims 4 --save metrics.json
     python -m repro report metrics.json
     python -m repro compare baseline.json candidate.json --threshold 0.1
+    python -m repro live wb --members 3 --loss 0.05
+    python -m repro live soak --packets 80 --loss 0.1 --check
 
 Each command prints the same series its benchmark asserts against.
+
+``repro live`` runs the same SRM core in real time on the asyncio
+engine (:mod:`repro.live`): ``wb`` spawns one OS process per whiteboard
+member over UDP loopback and checks byte-identical convergence, and
+``soak`` cross-validates live metrics bundles against a matched
+simulator run (``--tolerance`` is accepted as an alias of
+``--threshold`` on ``repro compare`` for the same gate).
 
 ``--check`` (available on every command) attaches the protocol oracles
 of :mod:`repro.oracle` to each simulation: every run is validated online
@@ -112,7 +121,8 @@ def report_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
 def compare_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
     sub.add_argument("baseline", help="baseline metrics bundle (JSON)")
     sub.add_argument("candidate", help="candidate metrics bundle (JSON)")
-    sub.add_argument("--threshold", type=float, default=None,
+    sub.add_argument("--threshold", "--tolerance", type=float,
+                     default=None, dest="threshold",
                      help="relative regression tolerance per gated "
                           "metric (default: 0.10)")
 
@@ -145,6 +155,11 @@ def fuzz_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
 
 def lint_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
     from repro.lint.cli import install_options
+    install_options(sub, defaults)
+
+
+def live_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
+    from repro.live.cli import install_options
     install_options(sub, defaults)
 
 
@@ -328,6 +343,13 @@ def _lint(args):
     return run_lint_command(args)
 
 
+@with_options(live_options)
+def _live(args):
+    """Real-time engine: whiteboard demo and sim-vs-live soak."""
+    from repro.live.cli import run_live_command
+    return run_live_command(args)
+
+
 @with_options(compare_options)
 def _compare(args):
     from repro.metrics import DEFAULT_THRESHOLD, compare_bundles, load_bundle
@@ -358,6 +380,7 @@ COMMANDS: Dict[str, Callable] = {
     "report": _report,
     "compare": _compare,
     "lint": _lint,
+    "live": _live,
 }
 
 #: Figure commands whose results carry a RunMetrics bundle that
@@ -401,7 +424,7 @@ FIGURE_SEEDS = {"figure3": 3, "figure4": 4, "figure5": 5, "figure6": 6,
                 "figure7": 7, "figure8": 8, "figure12": 12,
                 "figure13": 13, "figure14": 4, "figure15": 15,
                 "robustness": 55, "congestion": 0, "fuzz": 7,
-                "report": 0, "compare": 0, "lint": 0}
+                "report": 0, "compare": 0, "lint": 0, "live": 6}
 
 
 def _resolve_seed(args) -> None:

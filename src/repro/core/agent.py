@@ -193,7 +193,7 @@ class SrmAgent(Agent):
     def group_size(self) -> int:
         if self.group is None:
             return 1
-        return max(1, self.network.groups.size(self.group))
+        return self.network.group_size(self.group)
 
     @property
     def params(self) -> TimerParams:

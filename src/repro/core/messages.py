@@ -136,7 +136,18 @@ WIRE_VERSION = 1
 
 
 class WireFormatError(ValueError):
-    """A wire dict that cannot be decoded."""
+    """A payload or packet that cannot be encoded/decoded."""
+
+
+class WireDecodeError(WireFormatError):
+    """Malformed, truncated or hostile wire input.
+
+    Everything a decoder can reject raises this one type: the live
+    receive path (``repro.live``) catches it to drop-and-count bad
+    datagrams instead of crashing the session, and no ``KeyError`` /
+    ``TypeError`` / ``ValueError`` from arbitrary network bytes may leak
+    past :func:`payload_from_wire` / :func:`packet_from_wire`.
+    """
 
 
 def _name_to_wire(name: AduName) -> List[int]:
@@ -147,7 +158,10 @@ def _name_from_wire(wire: Any) -> AduName:
     try:
         source, creator, number, seq = wire
     except (TypeError, ValueError) as exc:
-        raise WireFormatError(f"bad ADU name encoding {wire!r}") from exc
+        raise WireDecodeError(f"bad ADU name encoding {wire!r}") from exc
+    if not all(isinstance(part, int)
+               for part in (source, creator, number, seq)):
+        raise WireDecodeError(f"bad ADU name encoding {wire!r}")
     return AduName(source, PageId(creator, number), seq)
 
 
@@ -159,7 +173,9 @@ def _page_from_wire(wire: Any) -> PageId:
     try:
         creator, number = wire
     except (TypeError, ValueError) as exc:
-        raise WireFormatError(f"bad page encoding {wire!r}") from exc
+        raise WireDecodeError(f"bad page encoding {wire!r}") from exc
+    if not (isinstance(creator, int) and isinstance(number, int)):
+        raise WireDecodeError(f"bad page encoding {wire!r}")
     return PageId(creator, number)
 
 
@@ -172,11 +188,13 @@ def _page_state_to_wire(page_state: Dict[Tuple[int, PageId], int]
 
 def _page_state_from_wire(wire: Any) -> Dict[Tuple[int, PageId], int]:
     state: Dict[Tuple[int, PageId], int] = {}
+    if isinstance(wire, (str, bytes)) or not hasattr(wire, "__iter__"):
+        raise WireDecodeError(f"bad page-state encoding {wire!r}")
     for row in wire:
         try:
             source, creator, number, seq = row
         except (TypeError, ValueError) as exc:
-            raise WireFormatError(f"bad page-state row {row!r}") from exc
+            raise WireDecodeError(f"bad page-state row {row!r}") from exc
         state[(source, PageId(creator, number))] = seq
     return state
 
@@ -219,11 +237,15 @@ def payload_to_wire(payload: Any) -> Dict[str, Any]:
 
 
 def payload_from_wire(wire: Mapping[str, Any]) -> Any:
-    """Decode :func:`payload_to_wire`'s output back into a payload."""
+    """Decode :func:`payload_to_wire`'s output back into a payload.
+
+    Raises :class:`WireDecodeError` on any malformed input; no stray
+    ``KeyError``/``TypeError``/``ValueError`` escapes to the caller.
+    """
     try:
         kind = wire["kind"]
     except (TypeError, KeyError) as exc:
-        raise WireFormatError(f"payload wire dict without kind: {wire!r}"
+        raise WireDecodeError(f"payload wire dict without kind: {wire!r}"
                               ) from exc
     try:
         if kind == KIND_DATA:
@@ -254,10 +276,14 @@ def payload_from_wire(wire: Mapping[str, Any]) -> Any:
                 page_state=_page_state_from_wire(wire["page_state"]),
                 echoes={peer: SessionTimestamp(t1=t1, delta=delta)
                         for peer, t1, delta in wire["echoes"]})
+    except WireDecodeError:
+        raise
     except KeyError as exc:
-        raise WireFormatError(
+        raise WireDecodeError(
             f"{kind} wire dict missing field {exc.args[0]!r}") from exc
-    raise WireFormatError(f"unknown payload kind {kind!r}")
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise WireDecodeError(f"malformed {kind} payload: {exc}") from exc
+    raise WireDecodeError(f"unknown payload kind {kind!r}")
 
 
 def packet_to_wire(packet: Any) -> Dict[str, Any]:
@@ -281,21 +307,40 @@ def packet_to_wire(packet: Any) -> Dict[str, Any]:
 
 
 def packet_from_wire(wire: Mapping[str, Any]) -> Any:
-    """Decode :func:`packet_to_wire`'s output back into a ``Packet``."""
+    """Decode :func:`packet_to_wire`'s output back into a ``Packet``.
+
+    Total over arbitrary input: any malformed or truncated wire dict
+    raises :class:`WireDecodeError` (never a bare ``KeyError`` /
+    ``TypeError`` / ``ValueError``), which is what lets the live receive
+    path drop-and-count bad datagrams instead of crashing.
+    """
     from repro.net.packet import GroupAddress, Packet
 
-    version = wire.get("v")
+    try:
+        version = wire.get("v")
+    except AttributeError as exc:
+        raise WireDecodeError(
+            f"packet wire must be a mapping, got {type(wire).__name__}"
+        ) from exc
     if version != WIRE_VERSION:
-        raise WireFormatError(f"unsupported wire version {version!r}")
-    dst_wire = wire["dst"]
-    if "group" in dst_wire:
-        dst: Any = GroupAddress(gid=dst_wire["group"],
-                                label=dst_wire.get("label", ""))
-    else:
-        dst = dst_wire["node"]
-    payload = payload_from_wire(wire["payload"])
-    return Packet(origin=wire["origin"], dst=dst,
-                  kind=wire["payload"]["kind"], payload=payload,
-                  ttl=wire["ttl"], initial_ttl=wire["initial_ttl"],
-                  size=wire["size"], scope_zone=wire["scope_zone"],
-                  uid=wire["uid"], sent_at=wire["sent_at"])
+        raise WireDecodeError(f"unsupported wire version {version!r}")
+    try:
+        dst_wire = wire["dst"]
+        if "group" in dst_wire:
+            dst: Any = GroupAddress(gid=dst_wire["group"],
+                                    label=dst_wire.get("label", ""))
+        else:
+            dst = dst_wire["node"]
+        payload = payload_from_wire(wire["payload"])
+        return Packet(origin=wire["origin"], dst=dst,
+                      kind=wire["payload"]["kind"], payload=payload,
+                      ttl=wire["ttl"], initial_ttl=wire["initial_ttl"],
+                      size=wire["size"], scope_zone=wire["scope_zone"],
+                      uid=wire["uid"], sent_at=wire["sent_at"])
+    except WireDecodeError:
+        raise
+    except KeyError as exc:
+        raise WireDecodeError(
+            f"packet wire dict missing field {exc.args[0]!r}") from exc
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise WireDecodeError(f"malformed packet wire dict: {exc}") from exc

@@ -22,6 +22,12 @@ EXCLUDED_DIRS = frozenset({
 #: stdlib ``random`` machinery directly.
 RNG_BOUNDARY = ("repro/sim/rng.py",)
 
+#: The blessed wall-clock boundary: the one module of the live engine
+#: allowed to read real time directly. Everything else in ``repro.live``
+#: goes through :class:`repro.live.clock.WallClock` and stays under the
+#: determinism rules.
+WALL_CLOCK_BOUNDARY = ("repro/live/clock.py",)
+
 #: Modules whose classes sit on the packet/event/trace hot path and must
 #: declare ``__slots__`` (SRM005). docs/performance.md explains why.
 HOT_PATH_SLOTS_MODULES = (

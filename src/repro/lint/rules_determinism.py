@@ -58,6 +58,8 @@ class NondeterministicSourceRule(Rule):
     def applies_to(self, ctx: FileContext) -> bool:
         if config.matches_module(ctx.path, config.RNG_BOUNDARY):
             return False  # repro.sim.rng IS the blessed boundary
+        if config.matches_module(ctx.path, config.WALL_CLOCK_BOUNDARY):
+            return False  # repro.live.clock IS the wall-clock boundary
         return super().applies_to(ctx)
 
     def check(self, ctx: FileContext) -> list[Violation]:

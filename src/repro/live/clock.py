@@ -1,0 +1,43 @@
+"""The one legitimate wall-clock boundary of the live engine.
+
+Everything in ``repro.live`` reads time through this module, exactly as
+simulation code reads randomness through :mod:`repro.sim.rng`: the
+determinism linter (SRM001) exempts this file — and only this file — via
+``repro.lint.config.WALL_CLOCK_BOUNDARY``, so any wall-clock read
+anywhere else in the tree is still flagged.
+
+Session time is *relative*: a :class:`WallClock` reports monotonic
+seconds since its epoch (restarted when the event loop starts), so live
+trace timestamps look like simulated ones — small floats starting near
+zero — and the oracles and metrics code need no unit changes.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Monotonic seconds since an adjustable epoch."""
+
+    __slots__ = ("_origin",)
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def restart(self) -> None:
+        """Re-zero the epoch (called when the event loop starts)."""
+        self._origin = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since the epoch. Never decreases."""
+        return time.monotonic() - self._origin
+
+
+def unix_now() -> float:
+    """Absolute Unix time, for run *metadata* only (bundle provenance).
+
+    Never feeds protocol timers or trace timestamps — those all come
+    from :class:`WallClock` via the live scheduler.
+    """
+    return time.time()

@@ -1,0 +1,304 @@
+"""Length-prefixed wire framing for the live transports.
+
+The wire codec of :mod:`repro.core.messages` turns packets into
+JSON-compatible dicts; this module turns those dicts into bytes on a
+socket and back, totally — arbitrary garbage in never crashes, it
+surfaces as :class:`~repro.core.messages.WireDecodeError` or a counted
+resync.
+
+Three layers:
+
+* **Frames** — ``b"SRM1" + !I body-length + JSON body``.
+  :func:`encode_frame` / :func:`decode_frame` handle exactly one frame;
+  :class:`FrameDecoder` handles a byte *stream* (split and coalesced
+  reads), resynchronizing on the magic after garbage and counting what
+  it skipped.
+* **Datagrams** — UDP bounds message size, so frames ride in fragments:
+  ``b"SRMF" + !I frame-id + !H index + !H count + chunk``.
+  :func:`split_datagrams` fragments a frame (count == 1 for the common
+  small case) and :class:`FragmentReassembler` reassembles, evicting
+  stale partial frames whose fragments were lost.
+* **Packets** — :func:`packet_to_frame` / :func:`frame_to_packet`
+  compose the wire codec with framing, with an optional data codec hook
+  for application payloads that are not JSON-native (the whiteboard's
+  drawops use :func:`repro.wb.drawops.op_to_wire`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.messages import (WireDecodeError, WireFormatError,
+                                 packet_from_wire, packet_to_wire)
+from repro.net.packet import Packet
+
+#: Frame header: magic + body length.
+FRAME_MAGIC = b"SRM1"
+_FRAME_HEADER = struct.Struct("!4sI")
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
+#: Fragment header: magic + frame id + fragment index + fragment count.
+FRAG_MAGIC = b"SRMF"
+_FRAG_HEADER = struct.Struct("!4sIHH")
+FRAG_HEADER_SIZE = _FRAG_HEADER.size
+
+#: Upper bound on one frame's JSON body; anything larger is hostile.
+MAX_FRAME = 1 << 20
+
+#: Default datagram budget (loopback-safe, well under 64 KiB UDP).
+MAX_DATAGRAM = 8192
+
+#: Optional application-data codec (applied to ``payload["data"]``).
+DataCodec = Callable[[Any], Any]
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+
+
+def encode_frame(wire: Mapping[str, Any]) -> bytes:
+    """One wire dict -> magic + length + canonical JSON bytes."""
+    try:
+        body = json.dumps(wire, separators=(",", ":"),
+                          sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(
+            f"wire dict is not JSON-encodable: {exc}") from exc
+    if len(body) > MAX_FRAME:
+        raise WireFormatError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME "
+            f"({MAX_FRAME})")
+    return _FRAME_HEADER.pack(FRAME_MAGIC, len(body)) + body
+
+
+def decode_frame(frame: bytes) -> Dict[str, Any]:
+    """Exactly one complete frame -> its wire dict.
+
+    Raises :class:`WireDecodeError` on bad magic, a length that
+    disagrees with the buffer, or a non-object JSON body.
+    """
+    if len(frame) < FRAME_HEADER_SIZE:
+        raise WireDecodeError(f"truncated frame header ({len(frame)} bytes)")
+    magic, length = _FRAME_HEADER.unpack_from(frame)
+    if magic != FRAME_MAGIC:
+        raise WireDecodeError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME:
+        raise WireDecodeError(f"frame length {length} exceeds MAX_FRAME")
+    if len(frame) != FRAME_HEADER_SIZE + length:
+        raise WireDecodeError(
+            f"frame length {length} disagrees with buffer of "
+            f"{len(frame) - FRAME_HEADER_SIZE} body bytes")
+    return _decode_body(frame[FRAME_HEADER_SIZE:])
+
+
+def _decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        wire = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireDecodeError(f"frame body is not JSON: {exc}") from exc
+    if not isinstance(wire, dict):
+        raise WireDecodeError(
+            f"frame body is not a JSON object: {type(wire).__name__}")
+    return wire
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Feed arbitrary chunks; complete frames come out in order. Garbage —
+    bytes that are not a frame header, an insane length, an unparsable
+    body — never raises: the decoder skips to the next magic and counts
+    (``garbage_bytes``, ``errors``) so the receive path can report
+    drop-and-count statistics.
+    """
+
+    __slots__ = ("_buffer", "garbage_bytes", "errors", "frames")
+
+    def __init__(self) -> None:
+        self._buffer = b""
+        #: Bytes skipped while hunting for a frame magic.
+        self.garbage_bytes = 0
+        #: Frames whose header or body failed to decode.
+        self.errors = 0
+        #: Frames decoded successfully.
+        self.frames = 0
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buffer += data
+        out: List[Dict[str, Any]] = []
+        while True:
+            self._resync()
+            buffer = self._buffer
+            if len(buffer) < FRAME_HEADER_SIZE:
+                break
+            _, length = _FRAME_HEADER.unpack_from(buffer)
+            if length > MAX_FRAME:
+                # Hostile length: skip the magic and hunt for the next.
+                self.errors += 1
+                self.garbage_bytes += len(FRAME_MAGIC)
+                self._buffer = buffer[len(FRAME_MAGIC):]
+                continue
+            end = FRAME_HEADER_SIZE + length
+            if len(buffer) < end:
+                break  # frame still incomplete
+            body = buffer[FRAME_HEADER_SIZE:end]
+            self._buffer = buffer[end:]
+            try:
+                out.append(_decode_body(body))
+                self.frames += 1
+            except WireDecodeError:
+                self.errors += 1
+        return out
+
+    def _resync(self) -> None:
+        """Drop leading bytes until the buffer starts with the magic."""
+        buffer = self._buffer
+        if buffer.startswith(FRAME_MAGIC):
+            return
+        index = buffer.find(FRAME_MAGIC)
+        if index >= 0:
+            self.garbage_bytes += index
+            self._buffer = buffer[index:]
+            return
+        # No magic in sight: keep only a tail that could be a magic
+        # prefix once more bytes arrive.
+        keep = 0
+        max_keep = min(len(buffer), len(FRAME_MAGIC) - 1)
+        for size in range(max_keep, 0, -1):
+            if FRAME_MAGIC.startswith(buffer[-size:]):
+                keep = size
+                break
+        self.garbage_bytes += len(buffer) - keep
+        self._buffer = buffer[-keep:] if keep else b""
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+
+# ----------------------------------------------------------------------
+# Datagram fragmentation
+# ----------------------------------------------------------------------
+
+
+def split_datagrams(frame: bytes, frame_id: int,
+                    max_datagram: int = MAX_DATAGRAM) -> List[bytes]:
+    """Fragment one frame into datagrams that each fit ``max_datagram``."""
+    room = max_datagram - FRAG_HEADER_SIZE
+    if room <= 0:
+        raise WireFormatError(
+            f"max_datagram {max_datagram} leaves no room for payload")
+    chunks = [frame[start:start + room]
+              for start in range(0, len(frame), room)]
+    if not chunks:
+        chunks = [b""]
+    count = len(chunks)
+    if count > 0xFFFF:
+        raise WireFormatError(f"frame needs {count} fragments (max 65535)")
+    frame_id &= 0xFFFFFFFF
+    return [_FRAG_HEADER.pack(FRAG_MAGIC, frame_id, index, count) + chunk
+            for index, chunk in enumerate(chunks)]
+
+
+class FragmentReassembler:
+    """Reassemble :func:`split_datagrams` output back into frames.
+
+    One reassembler per remote sender. Fragments may arrive reordered;
+    a frame is returned once all its fragments are in. Partial frames
+    (a fragment lost on the wire) are evicted oldest-first once more
+    than ``max_pending`` are outstanding, and counted in ``evicted``.
+    """
+
+    __slots__ = ("_pending", "max_pending", "errors", "evicted")
+
+    def __init__(self, max_pending: int = 64) -> None:
+        #: frame id -> (declared count, received so far, chunks by index).
+        self._pending: Dict[int, Tuple[int, Dict[int, bytes]]] = {}
+        self.max_pending = max_pending
+        #: Datagrams rejected (bad magic, truncated header, bad counts).
+        self.errors = 0
+        #: Partial frames given up on.
+        self.evicted = 0
+
+    def feed(self, datagram: bytes) -> Optional[bytes]:
+        """Absorb one datagram; return a completed frame or None."""
+        if len(datagram) < FRAG_HEADER_SIZE \
+                or not datagram.startswith(FRAG_MAGIC):
+            self.errors += 1
+            return None
+        _, frame_id, index, count = _FRAG_HEADER.unpack_from(datagram)
+        chunk = datagram[FRAG_HEADER_SIZE:]
+        if count == 0 or index >= count:
+            self.errors += 1
+            return None
+        if count == 1:
+            self._pending.pop(frame_id, None)
+            return chunk
+        entry = self._pending.get(frame_id)
+        if entry is None or entry[0] != count:
+            if entry is not None:
+                self.errors += 1  # conflicting fragment counts
+            entry = (count, {})
+            self._pending[frame_id] = entry
+            self._evict()
+        entry[1][index] = chunk
+        if len(entry[1]) < count:
+            return None
+        del self._pending[frame_id]
+        return b"".join(entry[1][i] for i in range(count))
+
+    def _evict(self) -> None:
+        while len(self._pending) > self.max_pending:
+            oldest = next(iter(self._pending))
+            del self._pending[oldest]
+            self.evicted += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+
+# ----------------------------------------------------------------------
+# Packets <-> frames
+# ----------------------------------------------------------------------
+
+
+def packet_to_frame(packet: Packet,
+                    encode_data: Optional[DataCodec] = None) -> bytes:
+    """Serialize a packet for the wire.
+
+    ``encode_data`` maps application payload data (the ``data`` field of
+    data/repair payloads) to a JSON-compatible form first.
+    """
+    wire = packet_to_wire(packet)
+    if encode_data is not None:
+        payload = wire["payload"]
+        if "data" in payload:
+            payload["data"] = encode_data(payload["data"])
+    return encode_frame(wire)
+
+
+def frame_to_packet(wire: Dict[str, Any],
+                    decode_data: Optional[DataCodec] = None) -> Packet:
+    """Decode a received wire dict back into a :class:`Packet`.
+
+    Totally: any malformation — including one thrown by ``decode_data``
+    — raises :class:`WireDecodeError`.
+    """
+    if decode_data is not None:
+        payload = wire.get("payload")
+        if isinstance(payload, dict) and "data" in payload:
+            try:
+                payload["data"] = decode_data(payload["data"])
+            except WireDecodeError:
+                raise
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise WireDecodeError(
+                    f"malformed application data: {exc}") from exc
+    packet = packet_from_wire(wire)
+    assert isinstance(packet, Packet)
+    return packet

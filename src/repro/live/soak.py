@@ -1,0 +1,270 @@
+"""Sim-vs-live cross-validation: the ``repro live soak`` workload.
+
+One :class:`SoakSpec` describes a sustained-rate SRM session with
+injected Bernoulli loss. :func:`run_live_soak` executes it on the
+asyncio :class:`~repro.live.session.LiveEngine` (in-process mesh through
+the :class:`~repro.live.transport.LinkEmulator` proxy link);
+:func:`run_matched_sim` executes the *same* traffic, loss model, config
+and seeds on the discrete-event :class:`~repro.net.network.Network`
+over an equivalent star topology. :func:`run_soak` does both and gates
+the live :class:`~repro.metrics.bundle.RunMetrics` bundle against the
+sim's with :func:`repro.metrics.compare.compare_bundles` — the same
+machinery as ``repro compare old.json new.json --tolerance T``.
+
+Why a star: the mesh link delivers every packet sender->receiver with
+one-way delay ``d``, independently Bernoulli-dropped per receiver. A
+star with per-leaf delay ``d/2`` and a per-leaf receive-side drop
+filter reproduces exactly that: pairwise member distance ``d``, one
+independent loss trial per (packet, receiver), sender's own copy never
+at risk.
+
+What is gated (:data:`SOAK_COMPARE_KEYS`): per-event protocol effort
+(request/repair means and duplicate means), loss-event counts and
+control bandwidth. The RTT-*ratio* percentiles are deliberately not
+gated by default — live recovery delays are wall-clock measurements
+against session-estimated distances, so callback-scheduling latency
+inflates them in a way the sim never sees (docs/live.md discusses the
+observed spread). The default ``threshold`` is therefore generous
+(:data:`SOAK_DEFAULT_TOLERANCE`) compared to the 10% regression gate
+the deterministic benchmark CI uses: two different seeded RNG streams
+are being compared statistically, not one stream against itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.agent import SrmAgent
+from repro.core.names import AduName
+from repro.live.clock import unix_now
+from repro.live.session import LiveEngine, attach_live_oracles, live_config
+from repro.live.transport import DEFAULT_LOSS_KINDS, LinkEmulator
+from repro.metrics.bundle import RunMetrics
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.compare import ComparisonReport, compare_bundles
+from repro.net.link import BernoulliDropFilter
+from repro.net.packet import NodeId, Packet
+from repro.sim.rng import RandomSource
+from repro.topology.spec import TopologySpec
+
+#: Headline keys the live bundle is gated on against the matched sim.
+SOAK_COMPARE_KEYS = (
+    "loss_events",
+    "requests_mean",
+    "repairs_mean",
+    "duplicate_requests_mean",
+    "duplicate_repairs_mean",
+    "control_bytes_per_member",
+)
+
+#: Default relative tolerance for the sim-vs-live gate. Generous on
+#: purpose: the two engines consume different seeded RNG streams, so
+#: this is a statistical agreement check, not a determinism check.
+SOAK_DEFAULT_TOLERANCE = 0.5
+
+
+@dataclass
+class SoakSpec:
+    """One sustained-rate soak workload, runnable on either engine."""
+
+    members: int = 4
+    packets: int = 80
+    rate: float = 80.0          # data packets per second from the source
+    loss: float = 0.1           # Bernoulli loss per (packet, receiver)
+    delay: float = 0.01         # one-way member-to-member delay, seconds
+    jitter: float = 0.0
+    drain: float = 1.5          # recovery window after the last send
+    seed: int = 0
+    check: bool = False         # attach live oracles + metrics verify
+
+    def __post_init__(self) -> None:
+        if self.members < 2:
+            raise ValueError("a soak needs at least two members")
+        if self.packets < 1 or self.rate <= 0:
+            raise ValueError("need a positive packet count and rate")
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock budget: the send phase plus the recovery drain."""
+        return self.packets / self.rate + self.drain
+
+    def config_overrides(self) -> Dict[str, float]:
+        return {"default_distance": self.delay}
+
+
+@dataclass
+class EngineRun:
+    """What one engine produced for a soak spec."""
+
+    engine: str                 # "live" | "sim"
+    bundle: RunMetrics
+    sent: List[AduName]
+    #: member -> ADUs from the source's stream it ended up holding.
+    held: Dict[NodeId, int]
+    converged: bool
+    injected_drops: int
+
+    def summary(self) -> str:
+        held = ", ".join(f"{node}:{count}"
+                         for node, count in sorted(self.held.items()))
+        state = "converged" if self.converged else "DID NOT CONVERGE"
+        return (f"[{self.engine}] {len(self.sent)} ADUs sent, "
+                f"{self.injected_drops} deliveries dropped, "
+                f"held {{{held}}} -> {state}")
+
+
+@dataclass
+class SoakResult:
+    """Both runs plus the gating comparison."""
+
+    spec: SoakSpec
+    live: EngineRun
+    sim: EngineRun
+    report: ComparisonReport
+    tolerance: float = SOAK_DEFAULT_TOLERANCE
+    keys: Tuple[str, ...] = SOAK_COMPARE_KEYS
+
+    @property
+    def ok(self) -> bool:
+        return self.live.converged and self.sim.converged and self.report.ok
+
+    def format(self) -> str:
+        lines = [self.live.summary(), self.sim.summary(), "",
+                 self.report.format()]
+        return "\n".join(lines)
+
+
+def _loss_predicate(packet: Packet) -> bool:
+    return packet.kind in DEFAULT_LOSS_KINDS
+
+
+def run_live_soak(spec: SoakSpec) -> EngineRun:
+    """Execute the soak on the asyncio engine's in-process mesh."""
+    master = RandomSource(spec.seed)
+    link = LinkEmulator(master.fork("link"), loss=spec.loss,
+                        delay=spec.delay, jitter=spec.jitter)
+    engine = LiveEngine(link=link, default_distance=spec.delay)
+    config = live_config(**spec.config_overrides())
+    group = engine.groups.allocate("soak")
+    agents: Dict[NodeId, SrmAgent] = {}
+    for member in range(spec.members):
+        agent = SrmAgent(config, master.fork(f"member-{member}"))
+        engine.attach(member, agent)
+        agent.join_group(group)
+        agents[member] = agent
+    collector = MetricsCollector(
+        control_packet_size=config.control_packet_size
+    ).attach(engine.trace)
+    collector.begin_round()
+    suite = attach_live_oracles(engine, agents=agents) if spec.check \
+        else None
+
+    source = agents[0]
+    sent: List[AduName] = []
+
+    def send(index: int) -> None:
+        sent.append(source.send_data(f"soak-{index}"))
+
+    for index in range(spec.packets):
+        engine.scheduler.schedule(index / spec.rate, send, index)
+
+    def converged() -> bool:
+        return (len(sent) == spec.packets
+                and all(agent.store.have(name)
+                        for agent in agents.values() for name in sent))
+
+    engine.run(spec.duration, stop_when=converged)
+    if suite is not None:
+        suite.verify(context="live soak")
+        collector.verify(engine.trace)
+    bundle = collector.snapshot(experiment="live-soak")
+    bundle.meta.update({
+        "engine": "live", "seed": spec.seed, "members": spec.members,
+        "loss": spec.loss, "rate": spec.rate, "packets": spec.packets,
+        "recorded_unix": unix_now(),
+    })
+    return EngineRun(
+        engine="live", bundle=bundle, sent=list(sent),
+        held=_held(agents, sent), converged=converged(),
+        injected_drops=link.dropped)
+
+
+def star_topology(members: int) -> TopologySpec:
+    """The sim twin of the mesh: leaves 0..members-1 around one hub."""
+    hub = members
+    return TopologySpec(
+        name=f"soak-star-{members}", num_nodes=members + 1,
+        edges=[(hub, leaf) for leaf in range(members)],
+        metadata={"hub": hub})
+
+
+def run_matched_sim(spec: SoakSpec) -> EngineRun:
+    """Execute the same workload on the discrete-event engine."""
+    master = RandomSource(spec.seed)
+    topology = star_topology(spec.members)
+    hub = spec.members
+    network = topology.build(delivery="direct", delay=spec.delay / 2.0)
+    network.trace.enabled = True
+    link_rng = master.fork("link")
+    filters: List[BernoulliDropFilter] = []
+    for leaf in range(spec.members):
+        drop = BernoulliDropFilter(spec.loss, link_rng,
+                                   predicate=_loss_predicate,
+                                   direction=(hub, leaf))
+        network.add_drop_filter(hub, leaf, drop)
+        filters.append(drop)
+    config = live_config(**spec.config_overrides())
+    group = network.groups.allocate("soak")
+    agents: Dict[NodeId, SrmAgent] = {}
+    for member in range(spec.members):
+        agent = SrmAgent(config, master.fork(f"member-{member}"))
+        network.attach(member, agent)
+        agent.join_group(group)
+        agents[member] = agent
+    collector = MetricsCollector(
+        control_packet_size=config.control_packet_size
+    ).attach(network.trace)
+    collector.begin_round()
+
+    source = agents[0]
+    sent: List[AduName] = []
+
+    def send(index: int) -> None:
+        sent.append(source.send_data(f"soak-{index}"))
+
+    for index in range(spec.packets):
+        network.scheduler.schedule(index / spec.rate, send, index)
+    # Session heartbeats rearm forever, so run to the wall-clock budget
+    # the live engine gets rather than to quiescence.
+    network.scheduler.run(until=spec.duration)
+    if spec.check:
+        collector.verify(network.trace)
+    bundle = collector.snapshot(experiment="sim-soak")
+    bundle.meta.update({
+        "engine": "sim", "seed": spec.seed, "members": spec.members,
+        "loss": spec.loss, "rate": spec.rate, "packets": spec.packets,
+    })
+    return EngineRun(
+        engine="sim", bundle=bundle, sent=list(sent),
+        held=_held(agents, sent),
+        converged=all(agent.store.have(name)
+                      for agent in agents.values() for name in sent),
+        injected_drops=sum(drop.drops for drop in filters))
+
+
+def run_soak(spec: SoakSpec,
+             tolerance: float = SOAK_DEFAULT_TOLERANCE) -> SoakResult:
+    """Run both engines and gate live against sim on the headline card."""
+    live = run_live_soak(spec)
+    sim = run_matched_sim(spec)
+    report = compare_bundles(sim.bundle, live.bundle, threshold=tolerance,
+                             keys=list(SOAK_COMPARE_KEYS))
+    return SoakResult(spec=spec, live=live, sim=sim, report=report,
+                      tolerance=tolerance)
+
+
+def _held(agents: Dict[NodeId, SrmAgent],
+          sent: List[AduName]) -> Dict[NodeId, int]:
+    return {member: sum(1 for name in sent if agent.store.have(name))
+            for member, agent in agents.items()}

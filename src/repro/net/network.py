@@ -175,6 +175,15 @@ class Network:
     def leave(self, node_id: NodeId, group: GroupAddress) -> None:
         self.groups.leave(node_id, group)
 
+    def group_size(self, group: GroupAddress) -> int:
+        """Member count (floored at 1, the way SRM timer math needs it).
+
+        Part of the engine surface (:class:`repro.live.engine.Engine`):
+        the sim answers from exact membership; a live engine answers from
+        local membership plus the remote peers it has heard from.
+        """
+        return max(1, self.groups.size(group))
+
     # ------------------------------------------------------------------
     # Routing queries (also the oracle used by experiments)
     # ------------------------------------------------------------------

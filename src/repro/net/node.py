@@ -4,6 +4,11 @@ A :class:`Node` is a router/host in the topology. Protocol endpoints attach
 to a node as :class:`Agent` objects; every packet delivered to the node
 (unicast addressed to it, or multicast for a group the node has joined) is
 handed to each attached agent's :meth:`Agent.receive`.
+
+Agents are typed against the :class:`repro.live.engine.Engine` protocol,
+not the concrete simulator: the same agent code runs attached to the
+discrete-event :class:`~repro.net.network.Network` or to a real-time
+:class:`repro.live.session.LiveEngine`.
 """
 
 from __future__ import annotations
@@ -13,24 +18,24 @@ from typing import Optional, TYPE_CHECKING
 from repro.net.packet import NodeId, Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.net.network import Network
-    from repro.sim.scheduler import EventScheduler
+    from repro.live.engine import Engine
+    from repro.sim.timers import TimerScheduler
 
 
 class Agent:
     """Base class for protocol endpoints.
 
     Subclasses override :meth:`receive`. ``node_id`` and ``network`` are
-    bound when the agent is attached via :meth:`Network.attach`.
+    bound when the agent is attached via the engine's ``attach``.
     """
 
     def __init__(self) -> None:
         self.node_id: NodeId = -1
-        self.network: "Network" = None  # type: ignore[assignment]
+        self.network: "Engine" = None  # type: ignore[assignment]
         #: Bound at attach; hot clock reads skip the network indirection.
-        self._scheduler: Optional["EventScheduler"] = None
+        self._scheduler: Optional["TimerScheduler"] = None
 
-    def attached(self, network: "Network", node_id: NodeId) -> None:
+    def attached(self, network: "Engine", node_id: NodeId) -> None:
         """Hook called when the agent is bound to a node."""
         self.network = network
         self.node_id = node_id

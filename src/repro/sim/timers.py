@@ -9,9 +9,40 @@ so protocol code never touches raw events.
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
 
-from repro.sim.scheduler import Event, EventScheduler
+
+@runtime_checkable
+class ScheduledEvent(Protocol):
+    """A cancellable handle returned by a scheduler's ``schedule``."""
+
+    __slots__ = ()
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+
+
+@runtime_checkable
+class TimerScheduler(Protocol):
+    """The structural interface :class:`Timer` (and agents) need.
+
+    A clock plus relative one-shot scheduling — satisfied by the
+    discrete-event :class:`repro.sim.scheduler.EventScheduler` and by the
+    real-time :class:`repro.live.scheduler.LiveScheduler`. Protocol code
+    written against this interface runs unchanged on either engine.
+    """
+
+    __slots__ = ()
+
+    @property
+    def now(self) -> float:
+        """Current time (simulated or session wall-clock seconds)."""
+        ...
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> ScheduledEvent:
+        """Run ``callback(*args)`` ``delay`` units from now."""
+        ...
 
 
 class TimerState(enum.Enum):
@@ -34,12 +65,12 @@ class Timer:
     __slots__ = ("_scheduler", "_callback", "name", "_event", "_state",
                  "expiry", "set_at")
 
-    def __init__(self, scheduler: EventScheduler,
+    def __init__(self, scheduler: TimerScheduler,
                  callback: Callable[[], Any], name: str = "") -> None:
         self._scheduler = scheduler
         self._callback = callback
         self.name = name
-        self._event: Optional[Event] = None
+        self._event: Optional[ScheduledEvent] = None
         self._state = TimerState.IDLE
         self.expiry: Optional[float] = None
         self.set_at: Optional[float] = None

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-from repro.core.names import AduName
+from repro.core.messages import WireDecodeError, WireFormatError
+from repro.core.names import AduName, PageId
 
 
 class DrawType(enum.Enum):
@@ -70,3 +71,63 @@ class ClearOp:
     """
 
     timestamp: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+#
+# The simulation passes drawops by reference; the live transports need
+# bytes. This is the data codec plugged into
+# :func:`repro.live.framing.packet_to_frame` for whiteboard sessions.
+
+
+def op_to_wire(op: Any) -> Dict[str, Any]:
+    """Encode one drawing operation as a JSON-compatible dict."""
+    if isinstance(op, DrawOp):
+        return {"op": "draw", "shape": op.shape.value,
+                "coords": [[x, y] for x, y in op.coords],
+                "color": op.color, "width": op.width, "text": op.text,
+                "ts": op.timestamp}
+    if isinstance(op, DeleteOp):
+        target = op.target
+        return {"op": "delete",
+                "target": [target.source, target.page.creator,
+                           target.page.number, target.seq],
+                "ts": op.timestamp}
+    if isinstance(op, ClearOp):
+        return {"op": "clear", "ts": op.timestamp}
+    raise WireFormatError(f"not a whiteboard operation: {op!r}")
+
+
+def op_from_wire(wire: Any) -> Any:
+    """Decode :func:`op_to_wire` output; total over arbitrary input.
+
+    Raises :class:`~repro.core.messages.WireDecodeError` on anything
+    malformed — the live receive path drops-and-counts it.
+    """
+    try:
+        tag = wire["op"]
+        if tag == "draw":
+            return DrawOp(
+                shape=DrawType(wire["shape"]),
+                coords=tuple((float(x), float(y))
+                             for x, y in wire["coords"]),
+                color=wire["color"], width=float(wire["width"]),
+                text=wire["text"], timestamp=float(wire["ts"]))
+        if tag == "delete":
+            source, creator, number, seq = wire["target"]
+            return DeleteOp(
+                target=AduName(int(source), PageId(int(creator),
+                                                   int(number)), int(seq)),
+                timestamp=float(wire["ts"]))
+        if tag == "clear":
+            return ClearOp(timestamp=float(wire["ts"]))
+    except WireDecodeError:
+        raise
+    except KeyError as exc:
+        raise WireDecodeError(
+            f"whiteboard op missing field {exc.args[0]!r}") from exc
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise WireDecodeError(f"malformed whiteboard op: {exc}") from exc
+    raise WireDecodeError(f"unknown whiteboard op tag {tag!r}")

@@ -12,13 +12,15 @@ arrives before the drawop it references.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.core.agent import SrmAgent
 from repro.core.config import SrmConfig
 from repro.core.names import AduName, PageId
-from repro.net.network import Network
 from repro.net.packet import GroupAddress
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.live.engine import Engine
 from repro.sim.rng import RandomSource
 from repro.wb.drawops import ClearOp, DeleteOp, DrawOp
 from repro.wb.integrity import IntegrityError, SealedOp
@@ -69,9 +71,9 @@ class Whiteboard:
     # Session management
     # ------------------------------------------------------------------
 
-    def join(self, network: Network, node_id: int,
+    def join(self, network: "Engine", node_id: int,
              group: GroupAddress) -> None:
-        """Attach to the network and join the session's multicast group."""
+        """Attach to an engine (sim or live) and join the session group."""
         network.attach(node_id, self.agent)
         self.agent.join_group(group)
 

@@ -110,6 +110,17 @@ def test_rng_module_is_the_blessed_boundary():
     assert engine.check_source("src/repro/sim/rng.py", src) == []
 
 
+def test_live_clock_is_the_blessed_wall_clock_boundary():
+    engine = LintEngine()
+    src = "import time\nstamp = time.time()\n"
+    # The one module of the live engine allowed to read real time...
+    assert engine.check_source("src/repro/live/clock.py", src) == []
+    # ... while the rest of repro.live stays under SRM001.
+    codes = [v.code
+             for v in engine.check_source("src/repro/live/session.py", src)]
+    assert codes == ["SRM001"]
+
+
 def test_module_key_matches_fixture_and_real_trees():
     assert module_key("src/repro/net/packet.py") == "repro/net/packet.py"
     assert module_key(

@@ -1,0 +1,163 @@
+"""The Engine protocol and the real-time scheduler.
+
+Both execution environments — the discrete-event ``Network`` and the
+asyncio ``LiveEngine`` — must satisfy the one structural ``Engine``
+interface agents are written against, and the live scheduler must keep
+the sim scheduler's semantics agents rely on: relative one-shot timers,
+cancellation, and a ``now`` frozen for the duration of each callback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.live.engine import Engine
+from repro.live.scheduler import LiveScheduler
+from repro.live.session import LiveEngine, live_config
+from repro.net.network import Network
+from repro.net.packet import GroupAddress
+from repro.sim.timers import Timer, TimerScheduler
+
+
+def test_both_engines_satisfy_the_protocol():
+    assert isinstance(Network(), Engine)
+    assert isinstance(LiveEngine(), Engine)
+
+
+def test_schedulers_satisfy_the_timer_protocol():
+    assert isinstance(LiveScheduler(), TimerScheduler)
+    assert isinstance(Network().scheduler, TimerScheduler)
+
+
+# ----------------------------------------------------------------------
+# LiveScheduler semantics
+# ----------------------------------------------------------------------
+
+
+def _drive(scheduler: LiveScheduler, duration: float) -> None:
+    async def body() -> None:
+        scheduler.start(asyncio.get_running_loop())
+        await asyncio.sleep(duration)
+        scheduler.stop()
+
+    asyncio.run(body())
+
+
+def test_events_fire_in_expiry_order():
+    scheduler = LiveScheduler()
+    fired = []
+    scheduler.schedule(0.05, fired.append, "late")
+    scheduler.schedule(0.01, fired.append, "early")
+    scheduler.schedule(0.03, fired.append, "middle")
+    _drive(scheduler, 0.2)
+    assert fired == ["early", "middle", "late"]
+    assert scheduler.fired == 3
+
+
+def test_cancelled_events_never_fire():
+    scheduler = LiveScheduler()
+    fired = []
+    keep = scheduler.schedule(0.01, fired.append, "keep")
+    drop = scheduler.schedule(0.01, fired.append, "drop")
+    drop.cancel()
+    _drive(scheduler, 0.1)
+    assert fired == ["keep"]
+    assert keep.fired and not drop.fired
+    assert scheduler.pending_count == 0
+
+
+def test_now_is_frozen_during_a_callback():
+    scheduler = LiveScheduler()
+    stamps = []
+
+    def callback() -> None:
+        before = scheduler.now
+        time.sleep(0.02)  # real time passes; session time must not
+        stamps.append((before, scheduler.now))
+
+    scheduler.schedule(0.01, callback)
+    _drive(scheduler, 0.1)
+    (before, after), = stamps
+    assert before == after
+
+
+def test_now_advances_between_dispatch_points():
+    scheduler = LiveScheduler()
+    stamps = []
+    scheduler.schedule(0.01, lambda: stamps.append(scheduler.now))
+    scheduler.schedule(0.05, lambda: stamps.append(scheduler.now))
+    _drive(scheduler, 0.2)
+    assert stamps[1] > stamps[0] >= 0.0
+
+
+def test_events_scheduled_before_start_are_parked_then_armed():
+    scheduler = LiveScheduler()
+    fired = []
+    scheduler.schedule(0.01, fired.append, "parked")
+    assert scheduler.pending_count == 1
+    _drive(scheduler, 0.1)
+    assert fired == ["parked"]
+
+
+def test_srm_timer_runs_on_the_live_scheduler():
+    scheduler = LiveScheduler()
+    fired = []
+    timer = Timer(scheduler, lambda: fired.append(scheduler.now))
+    timer.start(0.01)
+    assert timer.pending
+    _drive(scheduler, 0.1)
+    assert len(fired) == 1 and not timer.pending
+
+
+def test_srm_timer_cancel_on_the_live_scheduler():
+    scheduler = LiveScheduler()
+    fired = []
+    timer = Timer(scheduler, lambda: fired.append("no"))
+    timer.start(0.01)
+    timer.cancel()
+    _drive(scheduler, 0.05)
+    assert fired == [] and not timer.pending
+
+
+# ----------------------------------------------------------------------
+# LiveEngine surface
+# ----------------------------------------------------------------------
+
+
+def test_group_size_counts_local_and_remote_members():
+    engine = LiveEngine()
+    group = engine.groups.allocate("g")
+    assert engine.group_size(group) == 1  # floored, like the sim
+    engine.join(1, group)
+    engine.join(2, group)
+    assert engine.group_size(group) == 2
+    # A frame from an unknown origin counts it as a remote member.
+    engine._remote_members.setdefault(group.gid, {})[99] = None
+    assert engine.group_size(group) == 3
+
+
+def test_garbage_frames_are_dropped_and_counted():
+    engine = LiveEngine()
+    engine._on_frame({"v": "not-a-packet"})
+    engine._on_frame({})
+    assert engine.decode_errors == 2
+    assert engine.frames_received == 0
+
+
+def test_own_origin_frames_are_discarded():
+    from repro.core.agent import SrmAgent
+    from repro.core.messages import KIND_DATA, DataPayload
+    from repro.core.names import AduName, PageId
+    from repro.live.framing import decode_frame, packet_to_frame
+
+    engine = LiveEngine()
+    agent = SrmAgent(live_config())
+    engine.attach(5, agent)
+    group = engine.groups.allocate("g")
+    agent.join_group(group)
+    payload = DataPayload(name=AduName(5, PageId(0, 0), 1), data="x")
+    packet = engine.send_multicast(5, group, KIND_DATA, payload=payload)
+    wire = decode_frame(packet_to_frame(packet))
+    engine._on_frame(wire)
+    assert engine.frames_received == 0  # looped-back own frame
