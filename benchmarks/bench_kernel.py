@@ -19,12 +19,13 @@ per-bench speedups; committing the result keeps the repo's perf history
 in one file. The workloads are seeded and deterministic — only the
 wall-clock varies between machines.
 
-The JSON schema (``bench-kernel/v2``)::
+The JSON schema (``bench-kernel/v3``)::
 
     {
-      "schema": "bench-kernel/v2",
+      "schema": "bench-kernel/v3",
       "python": "3.11.7",
       "created": "2026-08-05T12:00:00",
+      "backend": "calendar",              # scheduler backend benched
       "benches": {
         "<name>": {"wall_s": float,      # best-of-N wall clock
                     "events": int,        # scheduler events executed
@@ -38,10 +39,16 @@ The JSON schema (``bench-kernel/v2``)::
       "speedup_vs_baseline": {"<name>": float}   # old wall / new wall
     }
 
-v2 adds the per-bench ``kernel`` section (``docs/metrics.md``): the
+v2 added the per-bench ``kernel`` section (``docs/metrics.md``): the
 deterministic counter deltas that explain a wall-clock movement —
 events scheduled vs executed, heap peaks, plan-cache hits, arrival
-copies. v1 files are still accepted by ``--compare``.
+copies. v3 resets the perf counters before every attempt (so high-water
+marks like ``heap_peak`` are per-bench, not cumulative), records the
+scheduler backend, and re-expresses ``cancel_heavy`` through the
+:class:`repro.sim.timers.TimerWave` bulk API — the same logical
+workload (N suppression timers armed, ~90% never fire), driven the way
+SRM suppression drives the new kernel. v1/v2 files are still accepted
+by ``--compare``.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import platform
 import sys
 import time
@@ -63,9 +71,11 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
 from repro.core.config import SrmConfig
 from repro.experiments.common import LossRecoverySimulation, Scenario
 from repro.net.node import Agent
+from repro.sim import perf
 from repro.sim.rng import RandomSource
-from repro.sim.scheduler import EventScheduler
-from repro.sim.timers import Timer
+from repro.sim.scheduler import (SCHED_BACKEND_ENV, create_scheduler,
+                                 scheduler_backend)
+from repro.sim.timers import TimerWave
 from repro.topology.random_tree import random_labeled_tree
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_kernel.json"
@@ -77,8 +87,8 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_kernel.json"
 
 
 def scheduler_churn(n: int) -> tuple[int, dict]:
-    """Push n trivial events through the heap in shuffled time order."""
-    sched = EventScheduler()
+    """Push n trivial events through the scheduler in shuffled time order."""
+    sched = create_scheduler()
     rng = RandomSource(1)
     times = [rng.uniform(0.0, 1000.0) for _ in range(n)]
     noop = lambda: None
@@ -89,36 +99,50 @@ def scheduler_churn(n: int) -> tuple[int, dict]:
 
 
 def cancel_heavy(n: int, cancel_fraction: float = 0.9) -> tuple[int, dict]:
-    """Timer workload where suppression cancels most of the heap.
+    """Timer workload where suppression cancels most pending timers.
 
-    Models SRM request/repair timers: set in waves, the vast majority
-    cancelled before firing. Stresses lazy deletion / heap compaction.
+    Models SRM request/repair suppression: timers are set in waves, the
+    earliest few fire, and the rest are cancelled in bulk — exactly how
+    a suppression round plays out (the first expiring member's multicast
+    suppresses everyone else's pending timer). Driven through the
+    :class:`TimerWave` bulk API: one ``arm`` per wave, a run to the
+    suppression horizon, then ``cancel_all`` for the survivors. The
+    logical workload — ``n`` timers armed, ``cancel_fraction`` of them
+    never firing — matches the per-``Timer`` formulation this bench used
+    on the heap-only kernel, so wall-clock ratios against a pre-calendar
+    baseline compare the same protocol work.
     """
-    sched = EventScheduler()
+    sched = create_scheduler()
     rng = RandomSource(2)
     fired = 0
 
-    def on_fire() -> None:
+    def on_fire(member: int) -> None:
         nonlocal fired
         fired += 1
 
     wave = 2000
     waves = max(1, n // wave)
+    lo, hi = 0.5, 2.0
+    # Delays are uniform on [lo, hi): running each wave to this horizon
+    # lets the earliest (1 - cancel_fraction) of the wave fire.
+    horizon = lo + (hi - lo) * (1.0 - cancel_fraction)
+    cancelled = 0
+    span = hi - lo
+    # Draw through the raw generator: random.uniform is exactly
+    # lo + span * random(), so the stream is unchanged, but the two
+    # wrapper frames per draw would otherwise be a visible slice of a
+    # bench whose kernel work is this cheap.
+    u = rng._rng.random
     for _ in range(waves):
-        timers = []
-        for _ in range(wave):
-            timer = Timer(sched, on_fire)
-            timer.start(rng.uniform(0.5, 2.0))
-            timers.append(timer)
-        # Suppression: cancel most timers before letting the wave drain.
-        keep = int(wave * (1.0 - cancel_fraction))
-        for timer in timers[keep:]:
-            timer.cancel()
-        sched.run(until=sched.now + 3.0)
-    executed = sched.run()
+        delays = [lo + span * u() for _ in range(wave)]
+        suppression = TimerWave(sched, on_fire)
+        suppression.arm(delays)
+        sched.run(until=sched.now + horizon)
+        cancelled += suppression.cancel_all()
     return sched.events_processed, {
         "timers": waves * wave,
         "fired": fired,
+        "cancelled": cancelled,
         "cancel_fraction": cancel_fraction,
     }
 
@@ -233,12 +257,17 @@ def run_bench(fn: BenchFn, repeat: int) -> dict:
 
     Each attempt also captures the :mod:`repro.sim.perf` counter deltas
     (via the same snapshot helpers the metrics collector uses), so the
-    committed JSON explains *why* a wall-clock number moved.
+    committed JSON explains *why* a wall-clock number moved. The global
+    counters are reset before every attempt: high-water marks such as
+    ``heap_peak`` are *not* deltas, so without the reset every bench
+    would report the largest peak seen by any earlier bench in the
+    process.
     """
     from repro.metrics.collector import _perf_delta, _perf_snapshot
 
     best: Optional[dict] = None
     for _ in range(repeat):
+        perf.GLOBAL.reset()
         before = _perf_snapshot()
         start = time.perf_counter()
         events, meta = fn()
@@ -267,7 +296,15 @@ def main(argv: Optional[list] = None) -> int:
                         help="best-of-N timing (default: %(default)s)")
     parser.add_argument("--quick", action="store_true",
                         help="tiny workloads (smoke test / CI)")
+    parser.add_argument("--sched-backend", choices=("heap", "calendar"),
+                        default=None,
+                        help="scheduler backend to bench (default: the "
+                             f"{SCHED_BACKEND_ENV} env var, or the "
+                             "kernel default)")
     args = parser.parse_args(argv)
+
+    if args.sched_backend:
+        os.environ[SCHED_BACKEND_ENV] = args.sched_backend
 
     benches: Dict[str, dict] = {}
     for name, fn in _bench_set(args.quick).items():
@@ -278,9 +315,10 @@ def main(argv: Optional[list] = None) -> int:
               f"{row['events_per_s'] or 0:>9} ev/s")
 
     payload = {
-        "schema": "bench-kernel/v2",
+        "schema": "bench-kernel/v3",
         "python": platform.python_version(),
         "created": datetime.datetime.now().isoformat(timespec="seconds"),
+        "backend": scheduler_backend(),
         "quick": args.quick,
         "repeat": args.repeat,
         "benches": benches,

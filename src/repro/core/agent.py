@@ -331,26 +331,32 @@ class SrmAgent(Agent):
 
     def receive(self, packet: Packet) -> None:
         dst = packet.dst
-        if dst.__class__ is GroupAddress and dst not in self._joined_groups:
+        if (dst.__class__ is GroupAddress and dst is not self.group
+                and dst not in self._joined_groups):
             # Another agent on this node joined that group; not ours.
-            # (Class check rather than the is_multicast property: this
-            # runs once per delivered packet.)
+            # (Class check rather than the is_multicast property, and an
+            # identity check against the primary group before hashing
+            # into the joined set: this runs once per delivered packet,
+            # and group addresses are shared objects in the simulator.)
             return
-        if packet.kind == KIND_DATA:
+        kind = packet.kind
+        if kind == KIND_DATA:
             payload: DataPayload = packet.payload
             self._accept_data(payload.name, payload.data, is_repair=False)
-        elif packet.kind == KIND_REQUEST:
-            self._handle_request(packet)
-        elif packet.kind == KIND_REPAIR:
-            self._handle_repair(packet)
-        elif packet.kind == KIND_SESSION:
+        elif kind == KIND_SESSION:
+            # Second in the chain: session traffic outnumbers every
+            # packet kind except data in a steady-state group.
             if self.session is not None:
                 self.session.handle(packet.payload)
-        elif packet.kind == KIND_PAGE_REQUEST:
+        elif kind == KIND_REQUEST:
+            self._handle_request(packet)
+        elif kind == KIND_REPAIR:
+            self._handle_repair(packet)
+        elif kind == KIND_PAGE_REQUEST:
             self._handle_page_request(packet.payload)
-        elif packet.kind == KIND_PAGE_REPLY:
+        elif kind == KIND_PAGE_REPLY:
             self._handle_page_reply(packet.payload)
-        elif packet.kind == KIND_FEC:
+        elif kind == KIND_FEC:
             if self.fec is not None:
                 self.fec.on_parity_received(packet.payload)
 

@@ -60,12 +60,23 @@ class SessionDistance(DistanceEstimator):
         self.estimates[peer] = max(0.0, estimate)
 
 
+#: Shared empty echo map for oracle-distance sessions (read-only by
+#: convention: receivers only ever ``.get`` on ``payload.echoes``).
+_NO_ECHOES: Dict["NodeId", SessionTimestamp] = {}
+
+
 class SessionProtocol:
     """The periodic session-message machinery for one agent."""
 
     def __init__(self, agent: "SrmAgent") -> None:
         self.agent = agent
         self.config = agent.config
+        #: The agent's reception table and its high-water dict, cached:
+        #: both are bound once in ``SrmAgent.__init__`` (before the
+        #: session protocol) and never rebound, and :meth:`handle` probes
+        #: them for every stream in every report.
+        self._reception = agent.reception
+        self._reception_high = agent.reception._high
         #: Peers heard from: peer -> (their last send time, our receive time).
         self.last_heard: Dict["NodeId", tuple[float, float]] = {}
         self.messages_sent = 0
@@ -144,10 +155,17 @@ class SessionProtocol:
     def send_session_message(self) -> None:
         agent = self.agent
         now = agent.now
-        echoes = {
-            peer: SessionTimestamp(t1=their_send, delta=now - our_receive)
-            for peer, (their_send, our_receive) in self.last_heard.items()
-        }
+        if agent.config.distance_oracle:
+            # Every member resolves distances through the oracle, so the
+            # timestamp echoes (one SessionTimestamp per peer heard) would
+            # never be read; skip building them. Receivers only .get() on
+            # the mapping, so sharing one empty dict is safe.
+            echoes: Dict["NodeId", SessionTimestamp] = _NO_ECHOES
+        else:
+            echoes = {
+                peer: SessionTimestamp(t1=their_send, delta=now - our_receive)
+                for peer, (their_send, our_receive) in self.last_heard.items()
+            }
         payload = SessionPayload(
             member=agent.node_id,
             sent_at=now,
@@ -167,22 +185,44 @@ class SessionProtocol:
     # ------------------------------------------------------------------
 
     def handle(self, payload: SessionPayload) -> None:
+        # Hot path: every member processes every other member's periodic
+        # report, so a session-heavy run spends more time here than in
+        # the scheduler. Locals are hoisted and the timestamp-echo branch
+        # is taken only when this member actually learns distances from
+        # echoes (the oracle ignores them).
         agent = self.agent
-        now = agent.now
+        now: float = agent._scheduler.now  # type: ignore[union-attr]
         self.last_heard[payload.member] = (payload.sent_at, now)
-        echo = payload.echoes.get(agent.node_id)
-        if echo is not None and isinstance(
-                agent.distances, SessionDistance):
-            # t1: our send; echo.delta: peer's holding time; now: t4.
-            estimate = ((now - echo.t1) - echo.delta) / 2.0
-            agent.distances.update(payload.member, estimate)
-        # Reception-state reports reveal tail losses.
-        node_id = agent.node_id
-        note_high_water = agent.reception.note_high_water
-        for (source, page), high_seq in payload.page_state.items():
-            if source == node_id:
-                continue
-            newly_missing = note_high_water(source, page, high_seq)
-            if newly_missing:
-                for name in newly_missing:
-                    agent.on_loss_detected(name)
+        distances = agent.distances
+        if distances.__class__ is SessionDistance:
+            echo = payload.echoes.get(agent.node_id)
+            if echo is not None:
+                # t1: our send; echo.delta: peer's holding time; now: t4.
+                estimate = ((now - echo.t1) - echo.delta) / 2.0
+                distances.update(payload.member, estimate)
+        # Reception-state reports reveal tail losses. The steady-state
+        # outcome — the reported high-water mark is already known — is
+        # checked inline against the reception table (page_state keys are
+        # the same (source, page) tuples ReceptionState keys by), so the
+        # overwhelmingly common case costs one dict probe per stream
+        # instead of a note_high_water call.
+        page_state = payload.page_state
+        if page_state:
+            node_id = agent.node_id
+            reception = self._reception
+            high = self._reception_high
+            for key, high_seq in page_state.items():
+                # Steady state first: a report at or below our own
+                # high-water mark needs no further filtering (our own
+                # streams always land here too, since no peer can report
+                # above what we ourselves sent).
+                previous = high.get(key)
+                if previous is not None and high_seq <= previous:
+                    continue
+                if key[0] == node_id:
+                    continue
+                newly_missing = reception.note_high_water(
+                    key[0], key[1], high_seq)
+                if newly_missing:
+                    for name in newly_missing:
+                        agent.on_loss_detected(name)

@@ -26,8 +26,8 @@ packets race toward the same link.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, \
-    Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, \
+    Sequence, Set, Tuple, Union
 
 from repro.mcast.groups import GroupManager
 from repro.net.link import DropFilter, Link
@@ -35,7 +35,7 @@ from repro.net.node import Agent, Node
 from repro.net.packet import DEFAULT_TTL, GroupAddress, NodeId, Packet
 from repro.net.routing import SourceTree, build_source_tree
 from repro.sim import perf
-from repro.sim.scheduler import EventScheduler
+from repro.sim.scheduler import SimScheduler, create_scheduler
 from repro.sim.trace import Trace
 
 #: One delivery-plan entry: (one-way delay, hop count, target), where
@@ -48,12 +48,15 @@ PlanEntry = Tuple[float, int, PlanTarget]
 class Network:
     """A simulated internetwork."""
 
-    def __init__(self, scheduler: Optional[EventScheduler] = None,
+    def __init__(self, scheduler: Optional[SimScheduler] = None,
                  trace: Optional[Trace] = None,
                  delivery: str = "direct") -> None:
         if delivery not in ("direct", "hop"):
             raise ValueError(f"unknown delivery mode {delivery!r}")
-        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        # Backend chosen by SRM_SCHED_BACKEND (the CLI's --sched-backend
+        # exports it); both produce identical (time, seq) event order.
+        self.scheduler = (scheduler if scheduler is not None
+                          else create_scheduler())
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.delivery = delivery
         self.nodes: Dict[NodeId, Node] = {}
@@ -71,14 +74,21 @@ class Network:
         self._prune_cache: Dict[Tuple[NodeId, int], Tuple[int, Set[NodeId]]] = {}
         #: Direct-engine delivery plans: (origin, gid, initial_ttl,
         #: scope_zone) -> (tree identity, membership version, zone version,
-        #: filter version, delivery entries, receiver count). The tree
-        #: identity entry invalidates on any topology change (trees are
-        #: rebuilt), the versions on membership / zone / filter changes.
+        #: delivery entries, receiver count). The tree identity entry
+        #: invalidates on any topology change (trees are rebuilt), the
+        #: versions on membership / zone changes. Drop-filter changes do
+        #: NOT invalidate: plans exclude filters by design (cuts are
+        #: applied per send on top of the cached plan).
         self._plan_cache: Dict[
             Tuple[NodeId, int, int, Optional[str]],
-            Tuple[SourceTree, int, int, int, Tuple[PlanEntry, ...], int]] = {}
+            Tuple[SourceTree, int, int, Tuple[PlanEntry, ...], int]] = {}
         self._zone_version = 0
-        self._filter_version = 0
+        #: node -> bound ``receive`` of that node's sole agent; built
+        #: lazily by :meth:`_deliver_many` and cleared whenever
+        #: :meth:`attach`/:meth:`detach` changes any node's agent list
+        #: (the only mutation paths — ``Node.attach`` is not called
+        #: directly anywhere else).
+        self._receive_cache: Dict[NodeId, Callable[[Packet], None]] = {}
         #: When True (and tracing is enabled), every packet handed to a
         #: node emits a "deliver" trace record. Off by default: delivery
         #: is the hottest path and check mode (repro.oracle) opts in.
@@ -127,13 +137,11 @@ class Network:
         link = self.link_between(a, b)
         link.add_filter(drop_filter)
         self._filtered_links.add(link)
-        self._filter_version += 1
 
     def clear_drop_filters(self) -> None:
         for link in self._filtered_links:
             link.clear_filters()
         self._filtered_links.clear()
-        self._filter_version += 1
 
     def define_scope_zone(self, name: str, nodes: Iterable[NodeId]) -> None:
         """Declare an administrative scope zone (Section VII-B1)."""
@@ -164,10 +172,12 @@ class Network:
     def attach(self, node_id: NodeId, agent: Agent) -> Agent:
         self.nodes[node_id].attach(agent)
         agent.attached(self, node_id)
+        self._receive_cache.clear()
         return agent
 
     def detach(self, node_id: NodeId, agent: Agent) -> None:
         self.nodes[node_id].detach(agent)
+        self._receive_cache.clear()
 
     def join(self, node_id: NodeId, group: GroupAddress) -> None:
         self.groups.join(node_id, group)
@@ -358,22 +368,21 @@ class Network:
         cached = self._plan_cache.get(key)
         if (cached is not None and cached[0] is tree
                 and cached[1] == self.groups.version
-                and cached[2] == self._zone_version
-                and cached[3] == self._filter_version):
-            plan, receivers = cached[4], cached[5]
+                and cached[2] == self._zone_version):
+            plan, receivers = cached[3], cached[4]
             self.perf.plan_cache_hits += 1
         else:
             plan, receivers = self._multicast_plan(tree, packet)
             self._plan_cache[key] = (tree, self.groups.version,
-                                     self._zone_version,
-                                     self._filter_version, plan, receivers)
+                                     self._zone_version, plan, receivers)
             self.perf.plan_cache_misses += 1
         # Filters must be consulted on every send (their counters advance
         # with traffic), but the common case — no filter armed anywhere —
         # skips the scan entirely.
         cuts = (self._dropped_subtrees(tree, packet)
                 if self._filtered_links else ())
-        schedule = self.scheduler.schedule
+        scheduler = self.scheduler
+        schedule = scheduler.schedule
         deliver = self._deliver
         deliver_many = self._deliver_many
         copies: Dict[int, Packet] = {}
@@ -400,14 +409,18 @@ class Network:
                     schedule(dist, deliver_many, target, arrival)
                 scheduled += count
         else:
-            for dist, hops, target in plan:
-                arrival = copies.get(hops)
+            # Hot branch: one scheduler call arms the whole plan (one
+            # event per entry, exactly as the per-entry loop would).
+            arrivals: List[Packet] = []
+            append_arrival = arrivals.append
+            get_copy = copies.get
+            for _, hops, _ in plan:
+                arrival = get_copy(hops)
                 if arrival is None:
                     copies[hops] = arrival = _arrived_copy(packet, hops)
-                if type(target) is tuple:
-                    schedule(dist, deliver_many, target, arrival)
-                else:
-                    schedule(dist, deliver, target, arrival)
+                append_arrival(arrival)
+            scheduler.run_plan(scheduler.now, plan, deliver, deliver_many,
+                               arrivals)
             scheduled = receivers
         counters = self.perf
         counters.arrival_copies += len(copies)
@@ -588,11 +601,36 @@ class Network:
                       packet: Packet) -> None:
         """Deliver one arrival to a same-(delay, hops) run of receivers.
 
-        Routes through :meth:`_deliver`, resolved at fire time (not
+        One scheduler event replaces ``len(members)`` individual ones;
+        ``batched_deliveries`` counts the events saved. When delivery
+        tracing is off and ``_deliver`` is not overridden or wrapped, the
+        per-member hop through :meth:`_deliver` is skipped too. Otherwise
+        delivery routes through ``_deliver``, resolved at fire time (not
         schedule time), so mid-run attachment changes — and tests that
         wrap ``_deliver`` to observe deliveries — behave exactly as they
         did when every receiver had its own event.
         """
+        self.perf.batched_deliveries += len(members) - 1
+        if (not self.trace_deliveries
+                and type(self)._deliver is Network._deliver
+                and "_deliver" not in self.__dict__):
+            # Node.deliver's single-agent fast path, inlined and memoized:
+            # this loop body runs once per receiver per packet, so the
+            # node lookup / agent-count check / method bind is cached per
+            # member (invalidated by attach/detach).
+            cache = self._receive_cache
+            nodes = self.nodes
+            for member in members:
+                receive = cache.get(member)
+                if receive is None:
+                    agents = nodes[member].agents
+                    if len(agents) != 1:
+                        nodes[member].deliver(packet)
+                        continue
+                    receive = agents[0].receive
+                    cache[member] = receive
+                receive(packet)
+            return
         deliver = self._deliver
         for member in members:
             deliver(member, packet)
@@ -608,18 +646,25 @@ class Network:
 
 
 def _arrived_copy(packet: Packet, hops: int) -> Packet:
-    """The packet as seen by a receiver ``hops`` away from the origin."""
+    """The packet as seen by a receiver ``hops`` away from the origin.
+
+    Clones by direct slot assignment rather than the dataclass
+    constructor: this allocation runs once per (send, hop-distance), and
+    skipping argument marshalling and ``__post_init__`` (delivery plans
+    only admit receivers with ``ttl >= hops``, so the TTL checks cannot
+    fire) is a measurable share of the delivery hot path.
+    """
     if hops == 0:
         return packet
-    return Packet(
-        origin=packet.origin,
-        dst=packet.dst,
-        kind=packet.kind,
-        payload=packet.payload,
-        ttl=packet.ttl - hops,
-        initial_ttl=packet.initial_ttl,
-        size=packet.size,
-        scope_zone=packet.scope_zone,
-        uid=packet.uid,
-        sent_at=packet.sent_at,
-    )
+    copy = object.__new__(Packet)
+    copy.origin = packet.origin
+    copy.dst = packet.dst
+    copy.kind = packet.kind
+    copy.payload = packet.payload
+    copy.ttl = packet.ttl - hops
+    copy.initial_ttl = packet.initial_ttl
+    copy.size = packet.size
+    copy.scope_zone = packet.scope_zone
+    copy.uid = packet.uid
+    copy.sent_at = packet.sent_at
+    return copy

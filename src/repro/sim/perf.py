@@ -40,6 +40,9 @@ class PerfCounters:
         "events_cancelled",
         "heap_rebuilds",
         "heap_peak",
+        "bucket_resizes",
+        "bucket_scan_len",
+        "batched_deliveries",
         "plan_cache_hits",
         "plan_cache_misses",
         "arrival_copies",
@@ -56,6 +59,9 @@ class PerfCounters:
         self.events_cancelled = 0     # cancels of still-pending events
         self.heap_rebuilds = 0        # compactions of cancel-heavy heaps
         self.heap_peak = 0            # largest heap observed (entries)
+        self.bucket_resizes = 0       # calendar-queue bucket rebuilds
+        self.bucket_scan_len = 0      # calendar entries scanned on drain
+        self.batched_deliveries = 0   # delivery events saved by batching
         self.plan_cache_hits = 0      # delivery plans served from cache
         self.plan_cache_misses = 0    # delivery plans (re)computed
         self.arrival_copies = 0       # Packet copies built for receivers
@@ -74,6 +80,9 @@ class PerfCounters:
             "events_cancelled": self.events_cancelled,
             "heap_rebuilds": self.heap_rebuilds,
             "heap_peak": self.heap_peak,
+            "bucket_resizes": self.bucket_resizes,
+            "bucket_scan_len": self.bucket_scan_len,
+            "batched_deliveries": self.batched_deliveries,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "arrival_copies": self.arrival_copies,
@@ -88,6 +97,9 @@ class PerfCounters:
         self.events_cancelled += other.events_cancelled
         self.heap_rebuilds += other.heap_rebuilds
         self.heap_peak = max(self.heap_peak, other.heap_peak)
+        self.bucket_resizes += other.bucket_resizes
+        self.bucket_scan_len += other.bucket_scan_len
+        self.batched_deliveries += other.batched_deliveries
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
         self.arrival_copies += other.arrival_copies
@@ -108,6 +120,17 @@ class PerfCounters:
         lines.append(f"events cancelled    {self.events_cancelled:12d}")
         lines.append(f"heap rebuilds       {self.heap_rebuilds:12d}")
         lines.append(f"heap peak           {self.heap_peak:12d}")
+        if self.bucket_resizes or self.bucket_scan_len:
+            lines.append(f"bucket resizes      {self.bucket_resizes:12d}")
+            scan = self.bucket_scan_len
+            if self.events_executed:
+                avg = scan / self.events_executed
+                lines.append(f"bucket scan len     {scan:12d} "
+                             f"({avg:.2f}/event)")
+            else:
+                lines.append(f"bucket scan len     {scan:12d}")
+        if self.batched_deliveries:
+            lines.append(f"batched deliveries  {self.batched_deliveries:12d}")
         plan_total = self.plan_cache_hits + self.plan_cache_misses
         if plan_total:
             rate = 100.0 * self.plan_cache_hits / plan_total
