@@ -171,6 +171,28 @@ def fuzz_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
                      help="append a JSONL run manifest here")
 
 
+def scaling_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
+    sub.add_argument("--sizes", default=None, metavar="N[,N...]",
+                     help="comma-separated session sizes (default: "
+                          "100,1000,10000,100000)")
+    sub.add_argument("--smoke", action="store_true",
+                     help="CI subset: drop the 10^5 point")
+    sub.add_argument("--rounds", type=int, default=3,
+                     help="loss-recovery rounds per point "
+                          "(default: %(default)s)")
+    sub.add_argument("--kinds", default="star,tree",
+                     help="topology kinds to sweep (default: %(default)s)")
+    sub.add_argument("--seed", type=int, default=None,
+                     help="random seed (default: 0)")
+    sub.add_argument("--check", action="store_true",
+                     help="attach the protocol oracles (forces full "
+                          "per-member tracing at every size; the 10^5 "
+                          "points get slow)")
+    sub.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write the sweep's merged metrics bundle "
+                          "(JSON) here")
+
+
 def lint_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
     from repro.lint.cli import install_options
     install_options(sub, defaults)
@@ -354,6 +376,27 @@ def _report(args):
     return 0
 
 
+@with_options(scaling_options)
+def _scaling(args):
+    """Mega-session sweep on the vectorized herd engine."""
+    from repro.experiments.scaling import (DEFAULT_SIZES, SMOKE_SIZES,
+                                           run_scaling)
+
+    if args.sizes is not None:
+        sizes = tuple(int(part) for part in args.sizes.split(","))
+    else:
+        sizes = SMOKE_SIZES if args.smoke else DEFAULT_SIZES
+    kinds = tuple(part.strip() for part in args.kinds.split(",") if part)
+    result = run_scaling(sizes=sizes, rounds=args.rounds, seed=args.seed,
+                         kinds=kinds)
+    print(result.format_table())
+    if args.metrics:
+        from repro.metrics import save_bundle
+        path = save_bundle(result.metrics, args.metrics)
+        print(f"saved metrics bundle to {path}", file=sys.stderr)
+    return result
+
+
 @with_options(lint_options)
 def _lint(args):
     """SRM-specific static analysis; see docs/static-analysis.md."""
@@ -392,6 +435,7 @@ COMMANDS: Dict[str, Callable] = {
     "figure13": _figure13,
     "figure14": _figure14,
     "figure15": _figure15,
+    "scaling": _scaling,
     "robustness": _robustness,
     "congestion": _congestion,
     "fuzz": _fuzz,
@@ -442,7 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
 FIGURE_SEEDS = {"figure3": 3, "figure4": 4, "figure5": 5, "figure6": 6,
                 "figure7": 7, "figure8": 8, "figure12": 12,
                 "figure13": 13, "figure14": 4, "figure15": 15,
-                "robustness": 55, "congestion": 0, "fuzz": 7,
+                "robustness": 55, "congestion": 0, "fuzz": 7, "scaling": 0,
                 "report": 0, "compare": 0, "lint": 0, "live": 6}
 
 

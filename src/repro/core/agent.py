@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from repro.core import timer_math
 from repro.core.adaptive import AdaptiveTimers
 from repro.core.config import SrmConfig, TimerParams
 from repro.core.messages import (
@@ -393,16 +394,11 @@ class SrmAgent(Agent):
                    ignore_until=None)
 
     def _draw_request_delay(self, name: AduName, backoff_count: int) -> float:
-        distance = max(self.distances.distance(name.source), 0.0)
         params = self.params
-        factor = self.config.backoff_factor() ** backoff_count
-        low = factor * params.c1 * distance
-        high = factor * (params.c1 + params.c2) * distance
-        if high <= 0.0:
-            # Zero distance estimate (or C1 = C2 = 0): fall back to a tiny
-            # randomized delay so simultaneous members still de-synchronize.
-            return self.rng.uniform(0.0, 1e-9)
-        return self.rng.uniform(low, high)
+        low, high = timer_math.request_delay_bounds(
+            self.distances.distance(name.source), params.c1, params.c2,
+            backoff_count, self.config.backoff_factor())
+        return timer_math.draw_timer(low, high, self.rng.random())
 
     def _request_ttl(self, name: AduName) -> int:
         if self.config.request_ttl is not None:
@@ -445,7 +441,8 @@ class SrmAgent(Agent):
         # Footnote 1's heuristic: ignore further duplicate requests until
         # halfway between now and the new expiration time.
         if self.config.ignore_backoff_enabled:
-            context.ignore_backoff_until = self.now + delay / 2.0
+            context.ignore_backoff_until = \
+                timer_math.ignore_backoff_until(self.now, delay)
         else:
             context.ignore_backoff_until = float("-inf")
         self.trace("request_timer_set", name=context.name, delay=delay,
@@ -497,7 +494,8 @@ class SrmAgent(Agent):
             self._observe_request(context, requester=payload.requester,
                                   reported_distance=(
                                       payload.requester_distance_to_source))
-            if self.now >= context.ignore_backoff_until:
+            if timer_math.should_backoff(self.now,
+                                         context.ignore_backoff_until):
                 self._backoff_request(context)
                 self.trace("request_backoff", name=name,
                            count=context.backoff_count)
@@ -554,13 +552,10 @@ class SrmAgent(Agent):
                    requester=payload.requester)
 
     def _draw_repair_delay(self, requester: int) -> float:
-        distance = max(self.distances.distance(requester), 0.0)
         params = self.params
-        low = params.d1 * distance
-        high = (params.d1 + params.d2) * distance
-        if high <= 0.0:
-            return self.rng.uniform(0.0, 1e-9)
-        return self.rng.uniform(low, high)
+        low, high = timer_math.repair_delay_bounds(
+            self.distances.distance(requester), params.d1, params.d2)
+        return timer_math.draw_timer(low, high, self.rng.random())
 
     def _repair_ttl(self, context: RepairContext) -> int:
         mode = self.config.local_repair_mode
@@ -631,8 +626,8 @@ class SrmAgent(Agent):
         if anchor == self.node_id:
             anchor = name.source
         distance = self.distances.distance(anchor)
-        self._holddown[name] = (self.now
-                                + self.config.holddown_factor * distance)
+        self._holddown[name] = timer_math.holddown_until(
+            self.now, distance, self.config.holddown_factor)
 
     # ------------------------------------------------------------------
     # Handling repairs and original data

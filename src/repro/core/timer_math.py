@@ -1,0 +1,148 @@
+"""Pure SRM timer/suppression arithmetic, shared by both engines.
+
+The scalar agent core (:mod:`repro.core.agent`) and the vectorized herd
+engine (:mod:`repro.herd`) must make *bit-identical* timer decisions, or
+the differential equivalence suite cannot hold counts exact. Every
+formula that feeds a timer or a suppression comparison therefore lives
+here, once, in the exact shape of the original agent code:
+
+* request timers are uniform on ``[f*C1*d, f*(C1+C2)*d]`` with
+  ``f = backoff_factor ** backoff_count`` and ``d`` the distance to the
+  source (Section III-A / Figure 3 of the paper);
+* repair timers are uniform on ``[D1*d, (D1+D2)*d]`` with ``d`` the
+  distance to the requester;
+* a zero-width interval (zero distance estimate, or C1 = C2 = 0)
+  degenerates to a tiny uniform on ``[0, DEGENERATE_HIGH]`` so
+  simultaneous members still de-synchronize;
+* after a backoff, duplicate requests are ignored until halfway to the
+  new expiry (footnote 1's heuristic);
+* answering a request starts a ``holddown_factor * d`` ignore window
+  (Section III-B's 3*d hold-down).
+
+``draw_timer(low, high, u)`` reproduces CPython's
+``Random.uniform(low, high)`` — ``low + (high - low) * u`` — from one raw
+``random()`` output ``u``, so an engine holding pre-drawn uniforms makes
+the same draw the agent would, consuming exactly one unit of the stream.
+
+The scalar half is dependency-free (``repro.core`` must import without
+numpy). The ``*_vec`` variants operate on numpy arrays and import numpy
+lazily; they use the same IEEE-754 double arithmetic, so results are
+bit-identical to the scalar path element by element.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy
+
+    FloatArray = "numpy.ndarray[Any, numpy.dtype[numpy.float64]]"
+
+#: Upper bound of the degenerate (zero-width) timer interval.
+DEGENERATE_HIGH = 1e-9
+
+# ---------------------------------------------------------------------------
+# Scalar path (the agent engine)
+# ---------------------------------------------------------------------------
+
+
+def request_delay_bounds(distance: float, c1: float, c2: float,
+                         backoff_count: int = 0,
+                         backoff_factor: float = 2.0
+                         ) -> Tuple[float, float]:
+    """``[f*C1*d, f*(C1+C2)*d]`` request-timer bounds (Section III-A)."""
+    distance = max(distance, 0.0)
+    factor = backoff_factor ** backoff_count
+    return factor * c1 * distance, factor * (c1 + c2) * distance
+
+
+def repair_delay_bounds(distance: float, d1: float, d2: float
+                        ) -> Tuple[float, float]:
+    """``[D1*d, (D1+D2)*d]`` repair-timer bounds (Section III-A)."""
+    distance = max(distance, 0.0)
+    return d1 * distance, (d1 + d2) * distance
+
+
+def draw_timer(low: float, high: float, u: float) -> float:
+    """One timer draw from a raw uniform ``u`` in ``[0, 1)``.
+
+    Bit-identical to ``Random.uniform(low, high)`` fed the same ``u``;
+    a non-positive ``high`` falls back to ``uniform(0, DEGENERATE_HIGH)``.
+    """
+    if high <= 0.0:
+        return DEGENERATE_HIGH * u
+    return low + (high - low) * u
+
+
+def ignore_backoff_until(now: float, delay: float) -> float:
+    """End of the duplicate-request ignore window after a backoff."""
+    return now + delay / 2.0
+
+
+def holddown_until(now: float, distance: float,
+                   holddown_factor: float = 3.0) -> float:
+    """End of the repair hold-down window after answering a request."""
+    return now + holddown_factor * distance
+
+
+def should_backoff(now: float, ignore_until: float) -> bool:
+    """Does a duplicate request at ``now`` trigger another backoff?
+
+    False while still inside the ignore window — the request is counted
+    but the timer is left alone.
+    """
+    return now >= ignore_until
+
+
+# ---------------------------------------------------------------------------
+# Vectorized path (the herd engine)
+# ---------------------------------------------------------------------------
+
+
+def backoff_factors_vec(backoff_factor: float, counts: Any) -> Any:
+    """``backoff_factor ** counts`` elementwise, via CPython ``pow``.
+
+    numpy's ``power`` may differ from CPython's ``float.__pow__`` in the
+    last ulp for awkward bases, which would break bit-parity with the
+    scalar path. Backoff counts take few distinct small values, so we
+    evaluate the scalar ``**`` once per distinct count and broadcast.
+    """
+    import numpy as np
+
+    counts = np.asarray(counts)
+    out = np.empty(counts.shape, dtype=np.float64)
+    for count in np.unique(counts):
+        out[counts == count] = backoff_factor ** int(count)
+    return out
+
+
+def request_delay_bounds_vec(distances: Any, c1: float, c2: float,
+                             counts: Any, backoff_factor: float = 2.0
+                             ) -> Tuple[Any, Any]:
+    """Vectorized :func:`request_delay_bounds` over member arrays."""
+    import numpy as np
+
+    distance = np.maximum(np.asarray(distances, dtype=np.float64), 0.0)
+    factor = backoff_factors_vec(backoff_factor, counts)
+    return factor * c1 * distance, factor * (c1 + c2) * distance
+
+
+def repair_delay_bounds_vec(distances: Any, d1: float, d2: float
+                            ) -> Tuple[Any, Any]:
+    """Vectorized :func:`repair_delay_bounds` over member arrays."""
+    import numpy as np
+
+    distance = np.maximum(np.asarray(distances, dtype=np.float64), 0.0)
+    return d1 * distance, (d1 + d2) * distance
+
+
+def draw_timers_vec(lows: Any, highs: Any, us: Any) -> Any:
+    """Vectorized :func:`draw_timer` over bound/uniform arrays."""
+    import numpy as np
+
+    lows = np.asarray(lows, dtype=np.float64)
+    highs = np.asarray(highs, dtype=np.float64)
+    us = np.asarray(us, dtype=np.float64)
+    draws = lows + (highs - lows) * us
+    return np.where(highs <= 0.0, DEGENERATE_HIGH * us, draws)

@@ -303,8 +303,18 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
         return _run_scoped(spec)
     if spec.kind != "recovery":
         raise ValueError(f"unknown experiment kind {spec.kind!r}")
-    simulation = LossRecoverySimulation(spec.scenario, config=spec.config,
-                                        seed=spec.seed, delivery=spec.engine)
+    simulation: Any
+    if spec.engine == "herd":
+        # The vectorized mega-session engine; duck-types the agent
+        # simulation (same run_round/last_round_metrics/config surface).
+        # Imported lazily: repro.herd imports this module.
+        from repro.herd import HerdSimulation
+        simulation = HerdSimulation(spec.scenario, config=spec.config,
+                                    seed=spec.seed)
+    else:
+        simulation = LossRecoverySimulation(
+            spec.scenario, config=spec.config, seed=spec.seed,
+            delivery=spec.engine)
     outcomes: List[RoundOutcome] = []
     bundles: List[Optional[RunMetrics]] = []
     for _ in range(spec.rounds):

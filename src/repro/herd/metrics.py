@@ -1,0 +1,102 @@
+"""Aggregate-mode RunMetrics assembly for the herd engine.
+
+In full-trace mode (small N, or ``SRM_CHECK=1``) the herd emits the
+agent engine's exact protocol trace rows and reuses
+:class:`repro.metrics.collector.MetricsCollector` unchanged — bundle
+equality with the agent engine is then a property of the rows, not of
+any parallel bookkeeping.
+
+At mega-session scale materializing 10^5 trace rows (and the per-member
+``MemberTiming`` objects behind ``LossEventReport``) defeats the point,
+so aggregate mode counts in place and this module renders those counts
+into a :class:`RunMetrics` with *exactly* the shape
+``MetricsCollector.snapshot`` produces: one event row per loss event
+(same nine keys), sorted timer dict, stringified per-member control
+tallies, control bytes, and a kernel perf delta. Ratio lists are ordered
+by (observation time, member) — the trace order of a herd round up to
+same-instant batches from distinct senders; consumers that compare
+engines sort these lists (see ``docs/herd.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.names import AduName
+from repro.metrics.bundle import RunMetrics
+from repro.metrics.collector import _perf_delta, _perf_snapshot
+from repro.metrics.events import LossEventReport
+
+FloatArray = Any
+IntArray = Any
+
+
+def _ordered(nodes: IntArray, ratios: FloatArray, ats: FloatArray
+             ) -> Tuple[IntArray, FloatArray, FloatArray]:
+    """Sort one observation set by (time, member node id)."""
+    order = np.lexsort((nodes, ats))
+    return nodes[order], ratios[order], ats[order]
+
+
+def aggregate_snapshot(*, name: AduName, requests: int, repairs: int,
+                       losses_detected: int,
+                       rec_nodes: IntArray, rec_ratios: FloatArray,
+                       rec_ats: FloatArray,
+                       wait_nodes: IntArray, wait_ratios: FloatArray,
+                       wait_ats: FloatArray,
+                       timers: Dict[str, int], control: Dict[int, int],
+                       control_packet_size: int,
+                       perf_before: Dict[str, Any],
+                       rounds: int = 1, experiment: str = ""
+                       ) -> Tuple[RunMetrics, LossEventReport]:
+    """One round's counts -> (bundle, counts-only LossEventReport)."""
+    bundle = RunMetrics(experiment=experiment, rounds=rounds)
+    recoveries = int(len(rec_nodes))
+    last_ratio: Optional[float] = None
+    if requests or repairs or losses_detected or recoveries \
+            or len(wait_nodes):
+        rec_nodes, rec_ratios, rec_ats = \
+            _ordered(rec_nodes, rec_ratios, rec_ats)
+        wait_nodes, wait_ratios, wait_ats = \
+            _ordered(wait_nodes, wait_ratios, wait_ats)
+        dup_requests = max(0, requests - 1)
+        dup_repairs = max(0, repairs - 1)
+        bundle.loss_events = 1
+        bundle.requests = requests
+        bundle.repairs = repairs
+        bundle.duplicate_requests = dup_requests
+        bundle.duplicate_repairs = dup_repairs
+        bundle.losses_detected = losses_detected
+        bundle.recoveries = recoveries
+        bundle.recovery_ratios.extend(map(float, rec_ratios))
+        bundle.request_ratios.extend(map(float, wait_ratios))
+        if recoveries:
+            # max by (absolute recovery time, node): the tail of the
+            # (time, node)-ordered set.
+            last_ratio = float(rec_ratios[-1])
+            bundle.last_member_ratios.append(last_ratio)
+        bundle.events.append({
+            "name": str(name),
+            "requests": requests,
+            "repairs": repairs,
+            "second_step_repairs": 0,
+            "duplicate_requests": dup_requests,
+            "duplicate_repairs": dup_repairs,
+            "losses_detected": losses_detected,
+            "recoveries": recoveries,
+            "last_member_ratio": last_ratio,
+        })
+    bundle.timers = dict(sorted(timers.items()))
+    bundle.control_packets = {
+        str(node): count
+        for node, count in sorted(control.items(), key=str)}
+    bundle.control_bytes = sum(control.values()) * control_packet_size
+    bundle.kernel = _perf_delta(perf_before, _perf_snapshot())
+    # A counts-only report: the per-member timing dicts stay empty by
+    # design (no 10^5 MemberTiming objects); RoundOutcome's scalar
+    # fields are computed from the arrays instead.
+    report = LossEventReport(name=name, requests=requests, repairs=repairs,
+                             losses_detected=losses_detected)
+    return bundle, report

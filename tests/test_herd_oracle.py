@@ -1,0 +1,76 @@
+"""The protocol oracles watch the herd engine too.
+
+``SRM_CHECK=1`` attaches the engine-independent oracle subset
+(:data:`repro.herd.HERD_ORACLES`) to every herd round: scheduler-time
+monotonicity and the request-timer interval/backoff/ignore-window
+checker. Beyond "a clean round passes", the regression half of this file
+proves the oracles have *teeth* against the vectorized code: an injected
+no-backoff bug (the classic NACK-implosion regression the paper's
+exponential backoff exists to prevent) must be caught and reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure5 import star_scenario
+from repro.herd import HERD_ORACLES, HerdSimulation, attach_herd_oracles
+from repro.oracle.base import OracleViolationError
+from repro.oracle.checkers import (RequestTimerOracle,
+                                   SchedulerMonotonicityOracle)
+
+
+def test_clean_round_passes_under_check_mode(monkeypatch):
+    monkeypatch.setenv("SRM_CHECK", "1")
+    sim = HerdSimulation(star_scenario(16), seed=0)
+    assert sim.oracle is not None
+    # Check mode forces full per-member tracing regardless of size —
+    # the oracles read individual timer rows.
+    assert sim.full_trace
+    outcome = sim.run_round()
+    assert outcome.recovered
+
+
+def test_check_mode_overrides_aggregate_request(monkeypatch):
+    monkeypatch.setenv("SRM_CHECK", "1")
+    sim = HerdSimulation(star_scenario(16), seed=0, trace_mode="aggregate")
+    assert sim.full_trace
+    assert sim.run_round().recovered
+
+
+def test_injected_no_backoff_bug_is_caught(monkeypatch):
+    # The canary: without exponential backoff every duplicate request
+    # re-arms the timer at backoff count 0, which the request-timer
+    # oracle flags as a fresh timer with no same-instant loss detection
+    # (and as intervals outside the doubled bounds).
+    monkeypatch.setenv("SRM_CHECK", "1")
+    sim = HerdSimulation(star_scenario(16), seed=3, inject="no-backoff")
+    with pytest.raises(OracleViolationError):
+        sim.run_round()
+
+
+def test_injected_bug_invisible_without_check_mode(monkeypatch):
+    # Sanity on the gate itself: with checking off the buggy round runs
+    # to completion — the violation is caught by the oracle, not by an
+    # engine-internal assertion.
+    monkeypatch.delenv("SRM_CHECK", raising=False)
+    sim = HerdSimulation(star_scenario(16), seed=3, inject="no-backoff")
+    assert sim.oracle is None
+    sim.run_round()
+
+
+def test_manual_attachment_without_env(monkeypatch):
+    monkeypatch.delenv("SRM_CHECK", raising=False)
+    sim = HerdSimulation(star_scenario(12), seed=1, trace_mode="full")
+    suite = attach_herd_oracles(sim)
+    sim.run_round()
+    suite.verify(context="manual herd round")
+
+
+def test_herd_oracle_subset_is_the_engine_independent_pair():
+    # The other checkers consume per-packet delivery rows the herd's
+    # aggregate delivery model deliberately never emits; the
+    # differential suite covers those properties by pinning herd rounds
+    # to agent rounds. Growing this tuple is fine; shrinking it is not.
+    assert SchedulerMonotonicityOracle in HERD_ORACLES
+    assert RequestTimerOracle in HERD_ORACLES

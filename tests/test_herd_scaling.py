@@ -1,0 +1,82 @@
+"""The scaling sweep (``repro scaling``) end to end.
+
+Tier-1 runs the sweep at toy sizes — table shape, metrics bundle,
+session-scaled C2 law, recovery at every point. The slow-marked test is
+the nightly's N=10^5 point: the acceptance bar for the herd engine is a
+figure 4/5-style sweep at a hundred thousand members in single-digit
+minutes, and this keeps that claim continuously true.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scaling import (DEFAULT_SIZES, star_c2, run_scaling,
+                                       star_scaling_scenario,
+                                       tree_scaling_scenario)
+
+
+def test_star_c2_scales_with_session():
+    assert star_c2(100) == 10.0
+    assert star_c2(100_000) == 10_000.0
+    # Tiny sessions keep the paper's default C2.
+    assert star_c2(10) == 2.0
+
+
+def test_scenario_builders():
+    star = star_scaling_scenario(50)
+    assert star.session_size == 50
+    assert star.source == 1 and star.drop_edge == (1, 0)
+    tree = tree_scaling_scenario(50, seed=1)
+    assert tree.session_size == 50
+    assert tree.source == 0 and tree.drop_edge == (0, 1)
+    assert tree.spec.num_nodes == 100
+
+
+def test_small_sweep_recovers_and_reports():
+    result = run_scaling(sizes=(64, 600), rounds=2, seed=0)
+    assert [((p.kind, p.size)) for p in result.points] == [
+        ("star", 64), ("tree", 64), ("star", 600), ("tree", 600)]
+    for point in result.points:
+        assert point.recovered
+        assert point.repairs_mean >= 1.0
+        assert point.requests_mean >= 1.0
+        assert point.recovery_max is not None
+    # 64-member sessions run fully traced, 600-member ones aggregated.
+    assert {p.size: p.mode for p in result.points} == \
+        {64: "full", 600: "aggregate"}
+    assert result.metrics is not None
+    assert result.metrics.loss_events == 2 * len(result.points)
+    table = result.format_table()
+    assert "star" in table and "tree" in table and "aggregate" in table
+
+
+def test_sweep_is_deterministic():
+    first = run_scaling(sizes=(64,), rounds=2, seed=3)
+    second = run_scaling(sizes=(64,), rounds=2, seed=3)
+    assert first.format_table() == second.format_table()
+    assert first.metrics.recovery_ratios == second.metrics.recovery_ratios
+
+
+def test_star_requests_stay_flat_as_n_grows():
+    # The point of the session-scaled C2 law: request counts must not
+    # grow with N. Two orders of magnitude, same single-digit regime.
+    result = run_scaling(sizes=(100, 10_000), rounds=3, seed=1,
+                         kinds=("star",))
+    small, large = result.points
+    assert large.requests_mean < 5 * small.requests_mean
+    assert large.requests_mean < 40.0
+
+
+@pytest.mark.slow
+def test_full_sweep_to_100k_members():
+    # The nightly mega-session point: both 10^5 topologies, recovered,
+    # request counts still flat. (Wall clock is bounded by the CI job
+    # timeout; locally this runs in well under a minute.)
+    result = run_scaling(sizes=DEFAULT_SIZES, rounds=3, seed=0)
+    mega = [p for p in result.points if p.size == 100_000]
+    assert len(mega) == 2
+    for point in mega:
+        assert point.recovered
+        assert point.mode == "aggregate"
+        assert point.requests_mean < 40.0

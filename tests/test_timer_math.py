@@ -1,0 +1,195 @@
+"""Property tests for the shared SRM timer arithmetic.
+
+:mod:`repro.core.timer_math` is the one place both engines (the scalar
+agent core and the vectorized herd) get their timer decisions from, and
+the differential equivalence suite only holds if the two code paths are
+*bit-identical*. These properties pin the contract:
+
+* ``draw_timer`` reproduces CPython's ``Random.uniform`` exactly;
+* drawn delays always land inside the advertised bounds;
+* backoff doubling is exact (powers of two are exact in binary64);
+* the suppression predicates are monotone in time;
+* every ``*_vec`` variant equals the scalar function element by element,
+  down to the last bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timer_math import (DEGENERATE_HIGH, backoff_factors_vec,
+                                   draw_timer, draw_timers_vec,
+                                   holddown_until, ignore_backoff_until,
+                                   repair_delay_bounds,
+                                   repair_delay_bounds_vec,
+                                   request_delay_bounds,
+                                   request_delay_bounds_vec, should_backoff)
+
+from conftest import examples
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+unit = st.floats(min_value=0.0, max_value=1.0, exclude_max=True)
+distances = st.floats(min_value=0.0, max_value=1e6)
+constants = st.floats(min_value=0.0, max_value=1e3)
+times = st.floats(min_value=0.0, max_value=1e9)
+
+
+# ----------------------------------------------------------------------
+# draw_timer == Random.uniform, bit for bit
+# ----------------------------------------------------------------------
+
+@settings(max_examples=examples(200))
+@given(seed=st.integers(0, 2**32 - 1), low=st.floats(0.0, 1e6),
+       width=st.floats(1e-12, 1e6))
+def test_draw_timer_matches_random_uniform(seed, low, width):
+    high = low + width
+    rng = random.Random(seed)
+    u = rng.random()
+    expected = random.Random(seed).uniform(low, high)
+    assert draw_timer(low, high, u) == expected
+
+
+@given(u=unit)
+def test_draw_timer_degenerate_interval(u):
+    # Zero-width (or inverted) bounds fall back to a tiny uniform so
+    # equidistant members still de-synchronize.
+    assert draw_timer(0.0, 0.0, u) == DEGENERATE_HIGH * u
+    assert draw_timer(5.0, -1.0, u) == DEGENERATE_HIGH * u
+
+
+# ----------------------------------------------------------------------
+# Bounds containment
+# ----------------------------------------------------------------------
+
+@settings(max_examples=examples(150))
+@given(distance=distances, c1=constants, c2=constants,
+       count=st.integers(0, 16), u=unit)
+def test_request_draw_lands_inside_bounds(distance, c1, c2, count, u):
+    low, high = request_delay_bounds(distance, c1, c2, count)
+    delay = draw_timer(low, high, u)
+    if high <= 0.0:
+        assert 0.0 <= delay < DEGENERATE_HIGH
+    else:
+        assert low <= delay <= high
+
+
+@settings(max_examples=examples(150))
+@given(distance=distances, d1=constants, d2=constants, u=unit)
+def test_repair_draw_lands_inside_bounds(distance, d1, d2, u):
+    low, high = repair_delay_bounds(distance, d1, d2)
+    delay = draw_timer(low, high, u)
+    if high <= 0.0:
+        assert 0.0 <= delay < DEGENERATE_HIGH
+    else:
+        assert low <= delay <= high
+
+
+@given(distance=st.floats(-1e6, -1e-9), c1=constants, c2=constants)
+def test_negative_distance_estimates_clamp_to_zero(distance, c1, c2):
+    assert request_delay_bounds(distance, c1, c2) == (0.0, 0.0)
+    assert repair_delay_bounds(distance, c1, c2) == (0.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Backoff doubling
+# ----------------------------------------------------------------------
+
+@settings(max_examples=examples(150))
+@given(distance=st.floats(1e-6, 1e6), c1=st.floats(1e-6, 1e3),
+       c2=constants, count=st.integers(0, 15))
+def test_backoff_doubles_bounds_exactly(distance, c1, c2, count):
+    # Powers of two are exact in binary64, so with the default factor
+    # each backoff multiplies both bounds by exactly 2.
+    low0, high0 = request_delay_bounds(distance, c1, c2, count)
+    low1, high1 = request_delay_bounds(distance, c1, c2, count + 1)
+    assert low1 == 2.0 * low0
+    assert high1 == 2.0 * high0
+
+
+@given(count=st.integers(0, 30), factor=st.floats(1.0, 4.0))
+def test_backoff_factors_vec_matches_scalar_pow(count, factor):
+    counts = np.asarray([count, 0, count], dtype=np.int64)
+    out = backoff_factors_vec(factor, counts)
+    assert out[0] == factor ** count
+    assert out[1] == factor ** 0
+    assert out[2] == out[0]
+
+
+# ----------------------------------------------------------------------
+# Suppression-window monotonicity
+# ----------------------------------------------------------------------
+
+@given(now=times, delay=st.floats(0.0, 1e6), later=st.floats(0.0, 1e6))
+def test_should_backoff_is_monotone_in_time(now, delay, later):
+    # Once a moment is outside the ignore window, every later moment is
+    # too: suppression can expire but never un-expire.
+    until = ignore_backoff_until(now, delay)
+    if should_backoff(now, until):
+        assert should_backoff(now + later, until)
+
+
+@given(now=times, delay=st.floats(0.0, 1e6))
+def test_ignore_window_covers_half_the_new_delay(now, delay):
+    until = ignore_backoff_until(now, delay)
+    assert until == now + delay / 2.0
+    assert until >= now
+    if should_backoff(now, until):
+        # Only possible when the half-delay rounded away entirely
+        # (delay tiny relative to now's magnitude).
+        assert until == now
+
+
+@given(now=times, d_near=st.floats(0.0, 1e6), gap=st.floats(0.0, 1e6))
+def test_holddown_is_monotone_in_distance(now, d_near, gap):
+    # A farther requester always implies an equal-or-later hold-down
+    # horizon (the 3*d window grows with distance).
+    assert holddown_until(now, d_near + gap) >= holddown_until(now, d_near)
+
+
+# ----------------------------------------------------------------------
+# Vectorized == scalar, elementwise, bit for bit
+# ----------------------------------------------------------------------
+
+member_batches = st.lists(
+    st.tuples(distances, st.integers(0, 16), unit), min_size=1, max_size=32)
+
+
+@settings(max_examples=examples(100))
+@given(batch=member_batches, c1=constants, c2=constants,
+       factor=st.sampled_from([1.0, 2.0, 1.5, 3.0]))
+def test_request_bounds_vec_bitwise_equals_scalar(batch, c1, c2, factor):
+    dists = np.asarray([b[0] for b in batch], dtype=np.float64)
+    counts = np.asarray([b[1] for b in batch], dtype=np.int64)
+    lows, highs = request_delay_bounds_vec(dists, c1, c2, counts, factor)
+    for i, (d, count, _) in enumerate(batch):
+        low, high = request_delay_bounds(d, c1, c2, count, factor)
+        assert lows[i] == low
+        assert highs[i] == high
+
+
+@settings(max_examples=examples(100))
+@given(batch=member_batches, d1=constants, d2=constants)
+def test_repair_bounds_vec_bitwise_equals_scalar(batch, d1, d2):
+    dists = np.asarray([b[0] for b in batch], dtype=np.float64)
+    lows, highs = repair_delay_bounds_vec(dists, d1, d2)
+    for i, (d, _, _) in enumerate(batch):
+        low, high = repair_delay_bounds(d, d1, d2)
+        assert lows[i] == low
+        assert highs[i] == high
+
+
+@settings(max_examples=examples(100))
+@given(batch=member_batches, c1=constants, c2=constants)
+def test_draw_timers_vec_bitwise_equals_scalar(batch, c1, c2):
+    dists = np.asarray([b[0] for b in batch], dtype=np.float64)
+    counts = np.asarray([b[1] for b in batch], dtype=np.int64)
+    us = np.asarray([b[2] for b in batch], dtype=np.float64)
+    lows, highs = request_delay_bounds_vec(dists, c1, c2, counts)
+    draws = draw_timers_vec(lows, highs, us)
+    for i, (d, count, u) in enumerate(batch):
+        low, high = request_delay_bounds(d, c1, c2, count)
+        assert draws[i] == draw_timer(low, high, u)
