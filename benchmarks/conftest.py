@@ -21,14 +21,14 @@ import, so a driver may flip them programmatically between sessions):
 
 from __future__ import annotations
 
-import os
-
 import pytest
+
+from repro import env as srm_env
 
 
 def is_full_scale() -> bool:
     """Read ``SRM_BENCH_FULL`` now, not at import time."""
-    return os.environ.get("SRM_BENCH_FULL", "") == "1"
+    return srm_env.bench_full()
 
 
 def scale(reduced: int, full: int) -> int:
@@ -48,13 +48,12 @@ def bench_runner():
     from repro.runner import ExperimentRunner, ResultCache
 
     cache = None
-    if os.environ.get("SRM_BENCH_CACHE", "") == "1":
-        cache = ResultCache(os.environ.get("SRM_BENCH_CACHE_DIR",
-                                           "results/.cache"))
+    if srm_env.bench_cache_enabled():
+        cache = ResultCache(srm_env.bench_cache_dir())
     return ExperimentRunner(
-        jobs=int(os.environ.get("SRM_BENCH_JOBS", "1")),
+        jobs=srm_env.bench_jobs(),
         cache=cache,
-        manifest_path=os.environ.get("SRM_BENCH_MANIFEST") or None)
+        manifest_path=srm_env.bench_manifest())
 
 
 @pytest.fixture

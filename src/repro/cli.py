@@ -49,10 +49,11 @@ threshold-based regression exit code (see ``docs/metrics.md``).
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
+
+from repro import env
 
 # ----------------------------------------------------------------------
 # Shared option groups.
@@ -200,6 +201,11 @@ def lint_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
 
 def live_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
     from repro.live.cli import install_options
+    install_options(sub, defaults)
+
+
+def fleet_options(sub: argparse.ArgumentParser, defaults: dict) -> None:
+    from repro.fleet.cli import install_options
     install_options(sub, defaults)
 
 
@@ -411,6 +417,13 @@ def _live(args):
     return run_live_command(args)
 
 
+@with_options(fleet_options)
+def _fleet(args):
+    """Fleet service: controller, worker agents, remote sweeps."""
+    from repro.fleet.cli import run_fleet_command
+    return run_fleet_command(args)
+
+
 @with_options(compare_options)
 def _compare(args):
     from repro.metrics import DEFAULT_THRESHOLD, compare_bundles, load_bundle
@@ -443,6 +456,7 @@ COMMANDS: Dict[str, Callable] = {
     "compare": _compare,
     "lint": _lint,
     "live": _live,
+    "fleet": _fleet,
 }
 
 #: Figure commands whose results carry a RunMetrics bundle that
@@ -487,7 +501,8 @@ FIGURE_SEEDS = {"figure3": 3, "figure4": 4, "figure5": 5, "figure6": 6,
                 "figure7": 7, "figure8": 8, "figure12": 12,
                 "figure13": 13, "figure14": 4, "figure15": 15,
                 "robustness": 55, "congestion": 0, "fuzz": 7, "scaling": 0,
-                "report": 0, "compare": 0, "lint": 0, "live": 6}
+                "report": 0, "compare": 0, "lint": 0, "live": 6,
+                "fleet": 0}
 
 
 def _resolve_seed(args) -> None:
@@ -498,6 +513,10 @@ def _resolve_seed(args) -> None:
         # A report run borrows the target figure's own default seed, so
         # `repro report figure3` reproduces `repro figure3` exactly.
         key = getattr(args, "target", key)
+    elif key == "fleet":
+        # Likewise a fleet submit: `repro fleet submit --figure figure3`
+        # must reproduce `repro figure3` byte for byte.
+        key = getattr(args, "figure", key)
     args.seed = FIGURE_SEEDS.get(key, 0)
 
 
@@ -515,13 +534,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "sched_backend", None):
         # Environment, not a module flag, for the same reason as
         # SRM_CHECK below: runner worker processes inherit it.
-        from repro.sim.scheduler import SCHED_BACKEND_ENV
-        os.environ[SCHED_BACKEND_ENV] = args.sched_backend
+        env.set_sched_backend(args.sched_backend)
     if getattr(args, "check", False):
         # The environment variable (not a module flag) switches the mode
-        # on: runner worker processes inherit it, so parallel sweeps are
-        # checked too.
-        os.environ["SRM_CHECK"] = "1"
+        # on: runner (and fleet) worker processes inherit it, so
+        # parallel sweeps are checked too.
+        env.set_check(True)
     profile = getattr(args, "profile", False)
     if profile:
         from repro.sim import perf

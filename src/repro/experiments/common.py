@@ -11,7 +11,6 @@ units of each member's RTT to the source.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -233,21 +232,6 @@ class LossRecoverySimulation:
         return min(timing.ratio for timing in at_minimum)
 
 
-def _deprecated_kwarg(value, legacy, new_name: str, old_name: str):
-    """Resolve a renamed keyword argument, warning when the old name is used.
-
-    The unified API spells the sweep-width keyword ``sims`` and the
-    round-count keywords ``runs``/``rounds`` everywhere; the drifting
-    per-figure names (``sims_per_size``, ``sims_per_value``, ``num_runs``,
-    ``num_rounds``) remain accepted, keyword-only, for one deprecation
-    cycle.
-    """
-    if legacy is None:
-        return value
-    warnings.warn(f"{old_name}= is deprecated; use {new_name}=",
-                  DeprecationWarning, stacklevel=3)
-    return legacy
-
 
 @dataclass
 class ExperimentSpec:
@@ -275,6 +259,33 @@ class ExperimentSpec:
     scoped_mode: Optional[str] = None
     trigger_gap: float = 1.0
 
+    # -- spec/v1 wire contract (see repro.fleet.wire) ------------------
+    # The frozen, versioned JSON encoding used by every fleet HTTP
+    # payload and by the runner's cache-key fingerprint (Task.canonical
+    # prefers to_wire() over generic dataclass walking).
+
+    def to_wire(self) -> Dict[str, Any]:
+        from repro.fleet.wire import spec_to_wire
+
+        return spec_to_wire(self)
+
+    def to_json(self) -> str:
+        from repro.fleet.wire import spec_to_json
+
+        return spec_to_json(self)
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "ExperimentSpec":
+        from repro.fleet.wire import spec_from_wire
+
+        return spec_from_wire(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        from repro.fleet.wire import spec_from_json
+
+        return spec_from_json(text)
+
 
 @dataclass
 class RunResult:
@@ -295,6 +306,30 @@ class RunResult:
     def outcome(self) -> RoundOutcome:
         """The final round (the only round, for the one-shot figures)."""
         return self.outcomes[-1]
+
+    # -- spec/v1 wire contract (see repro.fleet.wire) ------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        from repro.fleet.wire import result_to_wire
+
+        return result_to_wire(self)
+
+    def to_json(self) -> str:
+        from repro.fleet.wire import result_to_json
+
+        return result_to_json(self)
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "RunResult":
+        from repro.fleet.wire import result_from_wire
+
+        return result_from_wire(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        from repro.fleet.wire import result_from_json
+
+        return result_from_json(text)
 
 
 def run_experiment(spec: ExperimentSpec) -> RunResult:

@@ -14,7 +14,6 @@ rounds, with a small reduction in delay as well.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
@@ -23,7 +22,6 @@ from repro.experiments.common import (
     ExperimentSpec,
     LossRecoverySimulation,
     Scenario,
-    _deprecated_kwarg,
     run_experiment,
 )
 from repro.experiments.figure4 import figure4_scenarios
@@ -80,18 +78,6 @@ class RoundsResult:
     label: str = ""
     metrics: Optional[RunMetrics] = None
 
-    @property
-    def num_runs(self) -> int:
-        warnings.warn("num_runs is deprecated; use runs",
-                      DeprecationWarning, stacklevel=2)
-        return self.runs
-
-    @property
-    def num_rounds(self) -> int:
-        warnings.warn("num_rounds is deprecated; use rounds",
-                      DeprecationWarning, stacklevel=2)
-        return self.rounds
-
     def round_request_quartiles(self, round_index: int):
         values = [float(run[round_index]) for run in self.requests]
         return quantiles(values)
@@ -146,14 +132,10 @@ def run_rounds_experiment(scenario: Scenario, adaptive: bool,
                           runs: int = NUM_RUNS,
                           rounds: int = NUM_ROUNDS,
                           seed: int = 12,
-                          runner: Optional["ExperimentRunner"] = None,
-                          *, num_runs: Optional[int] = None,
-                          num_rounds: Optional[int] = None) -> RoundsResult:
+                          runner: Optional["ExperimentRunner"] = None) -> RoundsResult:
     """Ten runs of 100 rounds; same scenario, different RNG seeds per run."""
     from repro.runner import ExperimentRunner
 
-    runs = _deprecated_kwarg(runs, num_runs, "runs", "num_runs")
-    rounds = _deprecated_kwarg(rounds, num_rounds, "rounds", "num_rounds")
     runner = runner if runner is not None else ExperimentRunner()
     experiment = "figure13" if adaptive else "figure12"
     results = runner.map(
@@ -179,11 +161,7 @@ def run_rounds_experiment(scenario: Scenario, adaptive: bool,
 def run_figure12(scenario: Optional[Scenario] = None,
                  runs: int = NUM_RUNS, rounds: int = NUM_ROUNDS,
                  seed: int = 12,
-                 runner: Optional["ExperimentRunner"] = None,
-                 *, num_runs: Optional[int] = None,
-                 num_rounds: Optional[int] = None) -> RoundsResult:
-    runs = _deprecated_kwarg(runs, num_runs, "runs", "num_runs")
-    rounds = _deprecated_kwarg(rounds, num_rounds, "rounds", "num_rounds")
+                 runner: Optional["ExperimentRunner"] = None) -> RoundsResult:
     scenario = scenario or find_adversarial_scenario()
     return run_rounds_experiment(scenario, adaptive=False,
                                  runs=runs, rounds=rounds,
@@ -193,11 +171,7 @@ def run_figure12(scenario: Optional[Scenario] = None,
 def run_figure13(scenario: Optional[Scenario] = None,
                  runs: int = NUM_RUNS, rounds: int = NUM_ROUNDS,
                  seed: int = 13,
-                 runner: Optional["ExperimentRunner"] = None,
-                 *, num_runs: Optional[int] = None,
-                 num_rounds: Optional[int] = None) -> RoundsResult:
-    runs = _deprecated_kwarg(runs, num_runs, "runs", "num_runs")
-    rounds = _deprecated_kwarg(rounds, num_rounds, "rounds", "num_rounds")
+                 runner: Optional["ExperimentRunner"] = None) -> RoundsResult:
     scenario = scenario or find_adversarial_scenario()
     return run_rounds_experiment(scenario, adaptive=True,
                                  runs=runs, rounds=rounds,

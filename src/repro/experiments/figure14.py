@@ -11,17 +11,13 @@ number of duplicates over a range of scenarios.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.config import SrmConfig
 from repro.experiments.common import (
     ExperimentSpec,
-    RoundOutcome,
-    Scenario,
     SeriesPoint,
-    _deprecated_kwarg,
     format_quartile_table,
     run_experiment,
 )
@@ -32,21 +28,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runner import ExperimentRunner
 
 DEFAULT_ROUNDS = 40
-
-
-def figure14_rounds(scenario: Scenario, config: SrmConfig, rounds: int,
-                    seed: int) -> RoundOutcome:
-    """Deprecated task shim: run adaptively to ``rounds``, report the last.
-
-    The sweep now ships :class:`ExperimentSpec` objects through
-    :func:`run_experiment`; this remains for callers that imported the
-    task directly.
-    """
-    warnings.warn("figure14_rounds is deprecated; build an ExperimentSpec "
-                  "and call run_experiment", DeprecationWarning,
-                  stacklevel=2)
-    return run_experiment(ExperimentSpec(
-        scenario=scenario, config=config, rounds=rounds, seed=seed)).outcome
 
 
 @dataclass
@@ -75,12 +56,10 @@ def run_figure14(sizes: Sequence[int] = DEFAULT_SIZES,
                  sims: int = 20, rounds: int = DEFAULT_ROUNDS,
                  seed: int = 4,
                  config: Optional[SrmConfig] = None,
-                 runner: Optional["ExperimentRunner"] = None,
-                 *, sims_per_size: Optional[int] = None) -> Figure14Result:
+                 runner: Optional["ExperimentRunner"] = None) -> Figure14Result:
     """Re-runs the exact Fig. 4 scenario sweep, adaptively, to round 40."""
     from repro.runner import ExperimentRunner
 
-    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     base_config = config if config is not None else SrmConfig(adaptive=True)
     if not base_config.adaptive:
         raise ValueError("figure 14 requires an adaptive config")

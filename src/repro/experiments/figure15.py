@@ -16,25 +16,21 @@ size; the one-step variant is run alongside to show its inefficiency.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.local import loss_neighborhood
 from repro.experiments.common import (
     ExperimentSpec,
     Scenario,
     SeriesPoint,
-    _deprecated_kwarg,
     candidate_drop_edges,
     format_quartile_table,
     run_experiment,
 )
 from repro.net.network import Network
-from repro.net.packet import NodeId
 from repro.sim.rng import RandomSource
 from repro.topology.btree import balanced_tree
-from repro.topology.spec import TopologySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runner import ExperimentRunner
@@ -81,34 +77,13 @@ def _draw_scenario(network: Network, rng: RandomSource,
             return members, source, (drop_parent, drop_child)
 
 
-def scoped_recovery_task(spec: TopologySpec, source: NodeId,
-                         drop_edge: Tuple[NodeId, NodeId],
-                         members: List[NodeId], mode: str):
-    """Deprecated task shim: evaluate scoped recovery for one scenario.
-
-    The sweep now ships ``kind="scoped"`` :class:`ExperimentSpec` objects
-    through :func:`run_experiment`; this remains for callers that
-    imported the task directly.
-    """
-    warnings.warn("scoped_recovery_task is deprecated; build a "
-                  "kind='scoped' ExperimentSpec and call run_experiment",
-                  DeprecationWarning, stacklevel=2)
-    scenario = Scenario(spec=spec, members=members, source=source,
-                        drop_edge=drop_edge)
-    return run_experiment(ExperimentSpec(
-        scenario=scenario, kind="scoped",
-        scoped_mode=mode)).artifacts["scoped"]
-
-
 def run_figure15(sizes: Sequence[int] = DEFAULT_SIZES,
                  sims: int = 20, num_nodes: int = NUM_NODES,
                  degree: int = DEGREE, mode: str = "two-step",
                  seed: int = 15,
-                 runner: Optional["ExperimentRunner"] = None,
-                 *, sims_per_size: Optional[int] = None) -> Figure15Result:
+                 runner: Optional["ExperimentRunner"] = None) -> Figure15Result:
     from repro.runner import ExperimentRunner
 
-    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     spec = balanced_tree(num_nodes, degree)
     network = spec.build()
     master = RandomSource(seed)

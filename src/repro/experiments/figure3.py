@@ -13,7 +13,6 @@ unicast recovery.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
@@ -24,7 +23,6 @@ from repro.core.config import SrmConfig
 from repro.experiments.common import (
     ExperimentSpec,
     SeriesPoint,
-    _deprecated_kwarg,
     choose_scenario,
     format_quartile_table,
     run_experiment,
@@ -42,12 +40,6 @@ class Figure3Result:
     sims: int
     metrics: Optional[RunMetrics] = None
 
-    @property
-    def sims_per_size(self) -> int:
-        warnings.warn("sims_per_size is deprecated; use sims",
-                      DeprecationWarning, stacklevel=2)
-        return self.sims
-
     def format_table(self) -> str:
         sections = [
             format_quartile_table(self.points, "requests",
@@ -64,8 +56,7 @@ class Figure3Result:
 def run_figure3(sizes: Sequence[int] = DEFAULT_SIZES,
                 sims: int = 20, seed: int = 3,
                 config: Optional[SrmConfig] = None,
-                runner: Optional["ExperimentRunner"] = None,
-                *, sims_per_size: Optional[int] = None) -> Figure3Result:
+                runner: Optional["ExperimentRunner"] = None) -> Figure3Result:
     """Twenty sims per session size; a fresh random tree per sim.
 
     Scenario generation (topology draws, membership, congested link)
@@ -74,7 +65,6 @@ def run_figure3(sizes: Sequence[int] = DEFAULT_SIZES,
     """
     from repro.runner import ExperimentRunner
 
-    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     master = RandomSource(seed)
     base_config = config if config is not None else SrmConfig()
     runner = runner if runner is not None else ExperimentRunner()

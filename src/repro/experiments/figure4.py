@@ -9,7 +9,6 @@ somewhat high — the motivation for the adaptive algorithm (Fig. 13/14).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
@@ -21,7 +20,6 @@ from repro.experiments.common import (
     ExperimentSpec,
     Scenario,
     SeriesPoint,
-    _deprecated_kwarg,
     choose_scenario,
     format_quartile_table,
     run_experiment,
@@ -37,11 +35,9 @@ DEGREE = 4
 
 def figure4_scenarios(sizes: Sequence[int] = DEFAULT_SIZES,
                       sims: int = 20, seed: int = 4,
-                      adjacent_drop: bool = False,
-                      *, sims_per_size: Optional[int] = None
+                      adjacent_drop: bool = False
                       ) -> List[Scenario]:
     """The scenario sweep shared by Figs. 4 and 14."""
-    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     master = RandomSource(seed)
     spec = balanced_tree(NUM_NODES, DEGREE)
     network = spec.build()  # shared for candidate-edge computation
@@ -61,12 +57,6 @@ class Figure4Result:
     sims: int
     metrics: Optional[RunMetrics] = None
 
-    @property
-    def sims_per_size(self) -> int:
-        warnings.warn("sims_per_size is deprecated; use sims",
-                      DeprecationWarning, stacklevel=2)
-        return self.sims
-
     def format_table(self) -> str:
         sections = [
             format_quartile_table(self.points, "requests",
@@ -83,11 +73,9 @@ class Figure4Result:
 def run_figure4(sizes: Sequence[int] = DEFAULT_SIZES,
                 sims: int = 20, seed: int = 4,
                 config: Optional[SrmConfig] = None,
-                runner: Optional["ExperimentRunner"] = None,
-                *, sims_per_size: Optional[int] = None) -> Figure4Result:
+                runner: Optional["ExperimentRunner"] = None) -> Figure4Result:
     from repro.runner import ExperimentRunner
 
-    sims = _deprecated_kwarg(sims, sims_per_size, "sims", "sims_per_size")
     base_config = config if config is not None else SrmConfig()
     runner = runner if runner is not None else ExperimentRunner()
     scenarios = figure4_scenarios(sizes, sims, seed)

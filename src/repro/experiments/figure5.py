@@ -26,7 +26,6 @@ from repro.experiments.common import (
     ExperimentSpec,
     Scenario,
     SeriesPoint,
-    _deprecated_kwarg,
     run_experiment,
 )
 from repro.metrics.bundle import RunMetrics
@@ -79,11 +78,9 @@ def star_scenario(group_size: int = GROUP_SIZE) -> Scenario:
 def run_figure5(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
                 sims: int = 20, group_size: int = GROUP_SIZE,
                 c1: float = 2.0, seed: int = 5,
-                runner: Optional["ExperimentRunner"] = None,
-                *, sims_per_value: Optional[int] = None) -> Figure5Result:
+                runner: Optional["ExperimentRunner"] = None) -> Figure5Result:
     from repro.runner import ExperimentRunner
 
-    sims = _deprecated_kwarg(sims, sims_per_value, "sims", "sims_per_value")
     scenario = star_scenario(group_size)
     runner = runner if runner is not None else ExperimentRunner()
     results = runner.map(

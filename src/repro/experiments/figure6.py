@@ -19,7 +19,6 @@ from repro.experiments.common import (
     ExperimentSpec,
     Scenario,
     SeriesPoint,
-    _deprecated_kwarg,
     run_experiment,
 )
 from repro.metrics.bundle import RunMetrics
@@ -67,11 +66,9 @@ def run_figure6(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
                 failure_hops: Sequence[int] = DEFAULT_FAILURE_HOPS,
                 sims: int = 20, chain_length: int = CHAIN_LENGTH,
                 c1: float = 2.0, seed: int = 6,
-                runner: Optional["ExperimentRunner"] = None,
-                *, sims_per_value: Optional[int] = None) -> Figure6Result:
+                runner: Optional["ExperimentRunner"] = None) -> Figure6Result:
     from repro.runner import ExperimentRunner
 
-    sims = _deprecated_kwarg(sims, sims_per_value, "sims", "sims_per_value")
     runner = runner if runner is not None else ExperimentRunner()
     sweep = []  # (hops, c2, spec) across both loops
     for hops in failure_hops:

@@ -25,7 +25,6 @@ from repro.experiments.common import (
     ExperimentSpec,
     Scenario,
     SeriesPoint,
-    _deprecated_kwarg,
     run_experiment,
 )
 from repro.metrics.bundle import RunMetrics
@@ -90,11 +89,9 @@ def run_figure7(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
                 sims: int = 20, num_nodes: int = NUM_NODES,
                 degree: int = DEGREE, c1: float = 2.0,
                 seed: int = 7,
-                runner: Optional["ExperimentRunner"] = None,
-                *, sims_per_value: Optional[int] = None) -> Figure7Result:
+                runner: Optional["ExperimentRunner"] = None) -> Figure7Result:
     from repro.runner import ExperimentRunner
 
-    sims = _deprecated_kwarg(sims, sims_per_value, "sims", "sims_per_value")
     spec = balanced_tree(num_nodes, degree)
     members = list(range(num_nodes))
     source = 0

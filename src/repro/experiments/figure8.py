@@ -18,7 +18,6 @@ from repro.experiments.common import (
     ExperimentSpec,
     Scenario,
     SeriesPoint,
-    _deprecated_kwarg,
     run_experiment,
 )
 from repro.experiments.figure7 import Figure7Result, drop_edge_at_hops
@@ -38,11 +37,9 @@ def run_figure8(c2_values: Sequence[float] = DEFAULT_C2_VALUES,
                 sims: int = 20, num_nodes: int = NUM_NODES,
                 session_size: int = SESSION_SIZE, c1: float = 2.0,
                 seed: int = 8,
-                runner: Optional["ExperimentRunner"] = None,
-                *, sims_per_value: Optional[int] = None) -> Figure7Result:
+                runner: Optional["ExperimentRunner"] = None) -> Figure7Result:
     from repro.runner import ExperimentRunner
 
-    sims = _deprecated_kwarg(sims, sims_per_value, "sims", "sims_per_value")
     spec = balanced_tree(num_nodes, DEGREE)
     rng = RandomSource(seed)
     members = sorted(rng.sample(range(num_nodes), session_size))

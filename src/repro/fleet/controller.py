@@ -1,0 +1,664 @@
+"""The fleet controller: spec/v1 sweeps in, cached results out.
+
+One controller owns the full state of every submitted sweep:
+
+* **Jobs** — a submitted sweep of ``spec/v1`` payloads. At submit time
+  every spec is decoded (so malformed payloads are rejected before any
+  worker sees them) and fingerprinted exactly the way the serial
+  :class:`~repro.runner.executor.ExperimentRunner` fingerprints its
+  tasks, so the fleet shares the serial runner's content-addressed
+  :class:`~repro.runner.cache.ResultCache` — a point already computed
+  serially is a cache hit here, and vice versa.
+* **Workers** — pull-based agents. A worker registers, then leases one
+  task at a time. A lease carries the job's serialized env block
+  (:func:`repro.env.snapshot`) so every worker runs the sweep under the
+  submitter's knobs. Leases expire: a worker that stops heartbeating
+  loses its task back to the pending queue, and the sweep completes on
+  the surviving workers with results identical to a crash-free run —
+  task results are content-addressed, so a straggler's late report of
+  an already-rescheduled task is a harmless duplicate write of the same
+  bytes.
+* **Events** — an append-only feed (submit, lease, result, expiry,
+  registration) served as JSONL snapshots and live SSE, and a minimal
+  HTML dashboard polling the same JSON endpoints.
+
+The controller never executes a simulation itself and never blocks on a
+worker: all scheduling state transitions happen lazily, under one lock,
+when a request arrives. Determinism is structural — results are keyed
+by content and assembled in task-index order, so scheduling order,
+worker count, and crash timing are all invisible in the output.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.fleet.wire import (
+    WIRE_SCHEMA,
+    WireFormatError,
+    result_to_wire,
+    spec_from_wire,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.task import Task
+
+#: Default seconds a lease stays valid without a heartbeat.
+DEFAULT_LEASE_TTL = 15.0
+
+
+class FleetAPIError(Exception):
+    """A request the controller rejects; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class TaskState:
+    """One sweep point inside a job."""
+
+    index: int
+    payload: Dict[str, Any]          # the spec/v1 wire dict, as submitted
+    fingerprint: str
+    status: str = "pending"          # pending | leased | done | failed
+    worker: Optional[str] = None
+    lease_expires: float = 0.0       # monotonic deadline while leased
+    attempts: int = 0
+    cached: bool = False             # resolved from the cache at submit
+
+
+@dataclass
+class Job:
+    """A submitted sweep and its scheduling state."""
+
+    job_id: str
+    experiment: str
+    salt: str
+    env: Dict[str, str]
+    tasks: List[TaskState]
+    retries: int
+    error: str = ""
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+        for task in self.tasks:
+            counts[task.status] += 1
+        return counts
+
+    @property
+    def state(self) -> str:
+        counts = self.counts
+        if counts["failed"]:
+            return "failed"
+        if counts["done"] == len(self.tasks):
+            return "done"
+        return "running"
+
+
+@dataclass
+class WorkerState:
+    """One registered worker agent."""
+
+    worker_id: str
+    name: str
+    last_seen: float
+    done: int = 0
+    leases: List[Tuple[str, int]] = field(default_factory=list)
+
+
+class FleetController:
+    """All fleet state and transitions; the HTTP layer is a thin shim.
+
+    Every public method takes and returns plain JSON-able dicts, so the
+    same surface is exercised directly by unit tests and over HTTP by
+    the fleet client — there is exactly one code path.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 retries: int = 2) -> None:
+        self.cache = cache if cache is not None else ResultCache()
+        self.lease_ttl = float(lease_ttl)
+        self.retries = int(retries)
+        self._lock = threading.RLock()
+        self._started = time.monotonic()
+        self._job_ids = itertools.count(1)
+        self._worker_ids = itertools.count(1)
+        self._event_seq = itertools.count(0)
+        self.jobs: Dict[str, Job] = {}
+        self.workers: Dict[str, WorkerState] = {}
+        self.events: List[Dict[str, Any]] = []
+
+    # -- internals -----------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic()
+
+    def _record(self, event: str, **detail: Any) -> None:
+        entry = {"seq": next(self._event_seq),
+                 "t": round(self._now() - self._started, 6),
+                 "event": event}
+        entry.update(detail)
+        self.events.append(entry)
+
+    def _expire(self) -> None:
+        """Reclaim every lease whose deadline has passed (lazy sweep)."""
+        now = self._now()
+        for job in self.jobs.values():
+            for task in job.tasks:
+                if task.status == "leased" and task.lease_expires < now:
+                    worker = self.workers.get(task.worker or "")
+                    if worker is not None:
+                        try:
+                            worker.leases.remove((job.job_id, task.index))
+                        except ValueError:
+                            pass
+                    self._record("lease-expired", job=job.job_id,
+                                 index=task.index, worker=task.worker)
+                    task.status = "pending"
+                    task.worker = None
+                    task.lease_expires = 0.0
+
+    def _job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise FleetAPIError(404, f"unknown job {job_id!r}")
+        return job
+
+    def _worker(self, worker_id: str) -> WorkerState:
+        worker = self.workers.get(worker_id)
+        if worker is None:
+            raise FleetAPIError(404, f"unknown worker {worker_id!r}")
+        return worker
+
+    # -- job lifecycle -------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Accept a sweep: validate every spec, fingerprint, pre-hit cache."""
+        if not isinstance(payload, dict):
+            raise FleetAPIError(400, "submit body must be a JSON object")
+        experiment = payload.get("experiment")
+        specs = payload.get("specs")
+        if not isinstance(experiment, str) or not experiment:
+            raise FleetAPIError(400, "submit requires a non-empty "
+                                     "'experiment' name")
+        if not isinstance(specs, list) or not specs:
+            raise FleetAPIError(400, "submit requires a non-empty "
+                                     "'specs' list")
+        salt = payload.get("salt", "")
+        if not isinstance(salt, str):
+            raise FleetAPIError(400, "'salt' must be a string")
+        env_block = payload.get("env", {})
+        if not isinstance(env_block, dict) or \
+                not all(isinstance(k, str) and isinstance(v, str)
+                        for k, v in env_block.items()):
+            raise FleetAPIError(400, "'env' must map strings to strings")
+        from repro.experiments.common import run_experiment
+
+        tasks: List[TaskState] = []
+        for index, spec_payload in enumerate(specs):
+            try:
+                spec = spec_from_wire(spec_payload)
+            except WireFormatError as exc:
+                raise FleetAPIError(
+                    400, f"specs[{index}]: {exc}") from exc
+            # The same fingerprint the serial runner computes for this
+            # sweep point — the fleet and `repro figureN` share a cache.
+            fingerprint = Task(experiment=experiment, index=index,
+                               fn=run_experiment,
+                               kwargs={"spec": spec}).fingerprint(salt)
+            tasks.append(TaskState(index=index, payload=spec_payload,
+                                   fingerprint=fingerprint))
+        with self._lock:
+            job_id = f"job-{next(self._job_ids)}"
+            job = Job(job_id=job_id, experiment=experiment, salt=salt,
+                      env=dict(env_block), tasks=tasks,
+                      retries=self.retries)
+            cached = 0
+            for task in tasks:
+                if task.fingerprint in self.cache:
+                    task.status = "done"
+                    task.cached = True
+                    cached += 1
+            self.jobs[job_id] = job
+            self._record("submit", job=job_id, experiment=experiment,
+                         tasks=len(tasks), cached=cached)
+            if job.state == "done":
+                self._record("job-done", job=job_id, cached=cached)
+            return {"job": job_id, "tasks": len(tasks), "cached": cached,
+                    "state": job.state}
+
+    def job_status(self, job_id: str) -> Dict[str, Any]:
+        with self._lock:
+            self._expire()
+            job = self._job(job_id)
+            return {"job": job.job_id, "experiment": job.experiment,
+                    "state": job.state, "tasks": len(job.tasks),
+                    "counts": job.counts, "error": job.error,
+                    "cached": sum(1 for task in job.tasks if task.cached)}
+
+    def list_jobs(self) -> Dict[str, Any]:
+        with self._lock:
+            self._expire()
+            return {"jobs": [self.job_status(job_id)
+                             for job_id in self.jobs]}
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        """Every result in task-index order; 409 until the job is done."""
+        with self._lock:
+            self._expire()
+            job = self._job(job_id)
+            if job.state == "failed":
+                raise FleetAPIError(409, f"job {job_id} failed: "
+                                         f"{job.error}")
+            if job.state != "done":
+                raise FleetAPIError(409, f"job {job_id} is still "
+                                         f"running")
+            payloads = []
+            for task in job.tasks:
+                hit, value = self.cache.get(task.fingerprint)
+                if not hit:
+                    raise FleetAPIError(
+                        500, f"result for {job_id}/{task.index} missing "
+                             f"from the cache (evicted mid-run?)")
+                payloads.append(result_to_wire(value))
+            return {"job": job_id, "results": payloads}
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def register_worker(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        name = ""
+        if isinstance(payload, dict):
+            name = str(payload.get("name", ""))
+        with self._lock:
+            worker_id = f"w{next(self._worker_ids)}"
+            self.workers[worker_id] = WorkerState(
+                worker_id=worker_id, name=name or worker_id,
+                last_seen=self._now())
+            self._record("worker-registered", worker=worker_id,
+                         name=name or worker_id)
+            return {"worker": worker_id, "lease_ttl": self.lease_ttl,
+                    "schema": WIRE_SCHEMA}
+
+    def heartbeat(self, worker_id: str) -> Dict[str, Any]:
+        with self._lock:
+            self._expire()
+            worker = self._worker(worker_id)
+            now = self._now()
+            worker.last_seen = now
+            for job_id, index in worker.leases:
+                task = self._job(job_id).tasks[index]
+                if task.status == "leased" and task.worker == worker_id:
+                    task.lease_expires = now + self.lease_ttl
+            return {"ok": True,
+                    "leases": [list(lease) for lease in worker.leases]}
+
+    def lease(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Hand the next pending task (lowest job, lowest index) out."""
+        worker_id = ""
+        if isinstance(payload, dict):
+            worker_id = str(payload.get("worker", ""))
+        with self._lock:
+            self._expire()
+            worker = self._worker(worker_id)
+            now = self._now()
+            worker.last_seen = now
+            for job in self.jobs.values():
+                if job.state != "running":
+                    continue
+                for task in job.tasks:
+                    if task.status != "pending":
+                        continue
+                    task.status = "leased"
+                    task.worker = worker_id
+                    task.lease_expires = now + self.lease_ttl
+                    task.attempts += 1
+                    worker.leases.append((job.job_id, task.index))
+                    self._record("lease", job=job.job_id,
+                                 index=task.index, worker=worker_id,
+                                 attempt=task.attempts)
+                    return {"task": {
+                        "job": job.job_id, "index": task.index,
+                        "experiment": job.experiment,
+                        "spec": task.payload,
+                        "fingerprint": task.fingerprint,
+                        "env": job.env,
+                        "lease_ttl": self.lease_ttl,
+                    }}
+            return {"task": None}
+
+    def report(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Accept a worker's result (or failure) for a leased task."""
+        if not isinstance(payload, dict):
+            raise FleetAPIError(400, "report body must be a JSON object")
+        worker_id = str(payload.get("worker", ""))
+        job_id = str(payload.get("job", ""))
+        index = payload.get("index")
+        if not isinstance(index, int):
+            raise FleetAPIError(400, "report requires an integer 'index'")
+        error = payload.get("error")
+        result_payload = payload.get("result")
+        decoded = None
+        if error is None:
+            from repro.fleet.wire import result_from_wire
+
+            if not isinstance(result_payload, dict):
+                raise FleetAPIError(400, "report requires 'result' "
+                                         "(spec/v1 RunResult) or 'error'")
+            try:
+                decoded = result_from_wire(result_payload)
+            except WireFormatError as exc:
+                raise FleetAPIError(400, f"result: {exc}") from exc
+        with self._lock:
+            self._expire()
+            job = self._job(job_id)
+            if not 0 <= index < len(job.tasks):
+                raise FleetAPIError(404, f"no task {job_id}/{index}")
+            task = job.tasks[index]
+            worker = self.workers.get(worker_id)
+            if worker is not None:
+                worker.last_seen = self._now()
+                try:
+                    worker.leases.remove((job_id, index))
+                except ValueError:
+                    pass
+            if task.status == "done":
+                # A straggler whose lease expired and whose task was
+                # re-run elsewhere. The result is content-addressed and
+                # deterministic, so there is nothing to reconcile.
+                return {"ok": True, "duplicate": True}
+            if error is not None:
+                self._record("task-error", job=job_id, index=index,
+                             worker=worker_id, error=str(error))
+                if task.attempts > job.retries:
+                    task.status = "failed"
+                    job.error = (f"task {index} failed after "
+                                 f"{task.attempts} attempts: {error}")
+                    self._record("job-failed", job=job_id,
+                                 error=job.error)
+                else:
+                    task.status = "pending"
+                    task.worker = None
+                    task.lease_expires = 0.0
+                return {"ok": True, "retrying": task.status == "pending"}
+            self.cache.put(task.fingerprint, decoded)
+            task.status = "done"
+            task.worker = worker_id
+            if worker is not None:
+                worker.done += 1
+            self._record("result", job=job_id, index=index,
+                         worker=worker_id,
+                         duration=float(payload.get("duration", 0.0)))
+            if job.state == "done":
+                self._record("job-done", job=job_id)
+            return {"ok": True}
+
+    def list_workers(self) -> Dict[str, Any]:
+        with self._lock:
+            self._expire()
+            now = self._now()
+            rows = []
+            for worker in self.workers.values():
+                age = now - worker.last_seen
+                state = "busy" if worker.leases else "idle"
+                if age > 2 * self.lease_ttl:
+                    state = "lost"
+                rows.append({"worker": worker.worker_id,
+                             "name": worker.name, "state": state,
+                             "done": worker.done,
+                             "leases": [list(lease)
+                                        for lease in worker.leases],
+                             "last_seen_age": round(age, 3)})
+            return {"workers": rows}
+
+    # -- event feed ----------------------------------------------------
+
+    def events_since(self, since: int,
+                     job_id: Optional[str] = None) -> Dict[str, Any]:
+        """Events with seq >= since, optionally filtered to one job."""
+        with self._lock:
+            self._expire()
+            selected = [event for event in self.events
+                        if event["seq"] >= since
+                        and (job_id is None or event.get("job") == job_id)]
+            next_seq = self.events[-1]["seq"] + 1 if self.events else 0
+            return {"events": selected, "next": next_seq}
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+DASHBOARD_HTML = """<!doctype html>
+<html><head><title>repro fleet</title><style>
+body { font-family: monospace; margin: 2em; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+td, th { border: 1px solid #999; padding: 0.3em 0.8em; text-align: left; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; }
+.done { color: #070; } .failed { color: #a00; } .running { color: #05a; }
+</style></head><body>
+<h1>repro fleet controller</h1>
+<h2>jobs</h2><table id="jobs"><tr><td>loading...</td></tr></table>
+<h2>workers</h2><table id="workers"><tr><td>loading...</td></tr></table>
+<h2>events</h2><pre id="events"></pre>
+<script>
+async function refresh() {
+  const jobs = (await (await fetch('/api/v1/jobs')).json()).jobs;
+  let html = '<tr><th>job</th><th>experiment</th><th>state</th>' +
+             '<th>done</th><th>leased</th><th>pending</th>' +
+             '<th>cached</th></tr>';
+  for (const j of jobs) {
+    html += `<tr><td>${j.job}</td><td>${j.experiment}</td>` +
+            `<td class="${j.state}">${j.state}</td>` +
+            `<td>${j.counts.done}/${j.tasks}</td>` +
+            `<td>${j.counts.leased}</td><td>${j.counts.pending}</td>` +
+            `<td>${j.cached}</td></tr>`;
+  }
+  document.getElementById('jobs').innerHTML = html;
+  const workers = (await (await fetch('/api/v1/workers')).json()).workers;
+  html = '<tr><th>worker</th><th>name</th><th>state</th><th>done</th>' +
+         '<th>last seen</th></tr>';
+  for (const w of workers) {
+    html += `<tr><td>${w.worker}</td><td>${w.name}</td>` +
+            `<td>${w.state}</td><td>${w.done}</td>` +
+            `<td>${w.last_seen_age}s ago</td></tr>`;
+  }
+  document.getElementById('workers').innerHTML = html;
+}
+setInterval(refresh, 1000); refresh();
+const source = new EventSource('/api/v1/events/stream');
+source.onmessage = (msg) => {
+  const pre = document.getElementById('events');
+  pre.textContent += msg.data + '\\n';
+  while (pre.textContent.split('\\n').length > 30)
+    pre.textContent = pre.textContent.slice(
+        pre.textContent.indexOf('\\n') + 1);
+};
+</script></body></html>
+"""
+
+
+class FleetRequestHandler(BaseHTTPRequestHandler):
+    """Routes ``/api/v1/...`` onto the controller; JSON in, JSON out."""
+
+    controller: FleetController  # injected by make_server()
+    server_version = "repro-fleet/1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # the event feed is the log; stderr chatter breaks CLI use
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_json(self, payload: Dict[str, Any],
+                   status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FleetAPIError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise FleetAPIError(400, "request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query)
+        try:
+            self._route(method, parts, query)
+        except FleetAPIError as exc:
+            self._send_json({"error": str(exc)}, status=exc.status)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            self._send_json({"error": f"{type(exc).__name__}: {exc}"},
+                            status=500)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    # -- routing -------------------------------------------------------
+
+    def _route(self, method: str, parts: List[str],
+               query: Dict[str, List[str]]) -> None:
+        ctl = self.controller
+        if method == "GET" and parts == []:
+            body = DASHBOARD_HTML.encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if parts[:2] != ["api", "v1"]:
+            raise FleetAPIError(404, f"no route for {'/'.join(parts)!r}")
+        route = parts[2:]
+        if method == "GET":
+            if route == ["ping"]:
+                self._send_json({"ok": True, "schema": WIRE_SCHEMA})
+            elif route == ["jobs"]:
+                self._send_json(ctl.list_jobs())
+            elif len(route) == 2 and route[0] == "jobs":
+                self._send_json(ctl.job_status(route[1]))
+            elif len(route) == 3 and route[0] == "jobs" \
+                    and route[2] == "results":
+                self._send_json(ctl.results(route[1]))
+            elif route == ["workers"]:
+                self._send_json(ctl.list_workers())
+            elif route == ["events"]:
+                self._send_events_jsonl(query)
+            elif route == ["events", "stream"]:
+                self._send_events_sse(query)
+            else:
+                raise FleetAPIError(404,
+                                    f"no route for GET /{'/'.join(parts)}")
+            return
+        if method == "POST":
+            if route == ["jobs"]:
+                self._send_json(ctl.submit(self._read_json()))
+            elif route == ["workers", "register"]:
+                self._send_json(ctl.register_worker(self._read_json()))
+            elif len(route) == 3 and route[0] == "workers" \
+                    and route[2] == "heartbeat":
+                self._send_json(ctl.heartbeat(route[1]))
+            elif route == ["lease"]:
+                self._send_json(ctl.lease(self._read_json()))
+            elif route == ["results"]:
+                self._send_json(ctl.report(self._read_json()))
+            else:
+                raise FleetAPIError(404,
+                                    f"no route for POST /{'/'.join(parts)}")
+            return
+        raise FleetAPIError(405, f"method {method} not allowed")
+
+    def _send_events_jsonl(self, query: Dict[str, List[str]]) -> None:
+        """Snapshot of the event feed, one JSON object per line."""
+        job_id = query.get("job", [None])[0]
+        since = int(query.get("since", ["0"])[0])
+        feed = self.controller.events_since(since, job_id)
+        body = "".join(json.dumps(event) + "\n"
+                       for event in feed["events"]).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_events_sse(self, query: Dict[str, List[str]]) -> None:
+        """Live Server-Sent Events stream of the feed (long poll loop)."""
+        job_id = query.get("job", [None])[0]
+        cursor = int(query.get("since", ["0"])[0])
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        while True:
+            feed = self.controller.events_since(cursor, job_id)
+            for event in feed["events"]:
+                data = json.dumps(event)
+                self.wfile.write(f"data: {data}\n\n".encode())
+            self.wfile.flush()
+            cursor = feed["next"]
+            if job_id is not None:
+                # Close once the watched job reaches a terminal state
+                # and its tail has been flushed.
+                status = self.controller.job_status(job_id)
+                if status["state"] in ("done", "failed"):
+                    self.wfile.write(b"event: end\ndata: {}\n\n")
+                    self.wfile.flush()
+                    return
+            time.sleep(0.2)
+
+
+def make_server(controller: FleetController, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``controller`` (port 0 = ephemeral)."""
+    handler = type("BoundFleetHandler", (FleetRequestHandler,),
+                   {"controller": controller})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(host: str = "127.0.0.1", port: int = 8765,
+                  cache_dir: Optional[str] = None,
+                  lease_ttl: float = DEFAULT_LEASE_TTL,
+                  retries: int = 2) -> None:
+    """Blocking entry point for ``repro fleet serve``."""
+    cache = ResultCache(cache_dir) if cache_dir else ResultCache()
+    controller = FleetController(cache=cache, lease_ttl=lease_ttl,
+                                 retries=retries)
+    server = make_server(controller, host=host, port=port)
+    address = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    print(f"fleet controller listening on {address} "
+          f"(cache: {cache.root}, lease ttl: {lease_ttl}s)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -16,7 +16,6 @@ enforcing the window is caught, not believed.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
@@ -34,9 +33,12 @@ def check_mode_enabled() -> bool:
     """True when ``--check`` / ``SRM_CHECK=1`` turned on online checking.
 
     An environment variable rather than a module flag so runner worker
-    processes inherit the mode.
+    processes inherit the mode; the typed accessor lives in
+    :mod:`repro.env` with the rest of the knob registry.
     """
-    return os.environ.get("SRM_CHECK", "") not in ("", "0")
+    from repro import env
+
+    return env.check_enabled()
 
 
 @dataclass

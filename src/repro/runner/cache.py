@@ -20,7 +20,9 @@ DEFAULT_CACHE_DIR = "results/.cache"
 
 
 def default_cache_dir() -> str:
-    return os.environ.get("SRM_CACHE_DIR", DEFAULT_CACHE_DIR)
+    from repro import env
+
+    return env.cache_dir()
 
 
 class ResultCache:

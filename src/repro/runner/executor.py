@@ -40,9 +40,9 @@ def code_version_salt() -> str:
     keeps the cache warm; bump ``SRM_CACHE_SALT`` (or the package
     version) when simulation semantics change.
     """
-    from repro import __version__
+    from repro import env
 
-    return os.environ.get("SRM_CACHE_SALT", f"repro-{__version__}")
+    return env.cache_salt()
 
 
 class RunnerError(RuntimeError):

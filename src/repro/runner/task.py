@@ -31,6 +31,14 @@ def canonical(value: Any) -> Any:
         return value
     if isinstance(value, float):
         return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type) \
+            and hasattr(value, "to_wire"):
+        # Types with a frozen wire contract (ExperimentSpec and friends,
+        # see repro.fleet.wire) fingerprint through their versioned
+        # spec/v1 encoding, so a spec decoded from the wire keys the
+        # cache identically to the in-process original — workers, the
+        # fleet controller, and serial runs all share one result store.
+        return value.to_wire()
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         cls = type(value)
         encoded = {f.name: canonical(getattr(value, f.name))

@@ -30,7 +30,6 @@ execute any sequence of schedule/cancel/run calls in the identical
 from __future__ import annotations
 
 import heapq
-import os
 from typing import Any, Callable, ClassVar, List, Optional, Tuple, Union
 
 from repro.sim import perf
@@ -1201,7 +1200,9 @@ _BACKENDS = ("heap", "calendar")
 
 def scheduler_backend() -> str:
     """The configured backend name: env override or the default."""
-    name = os.environ.get(SCHED_BACKEND_ENV, "").strip().lower()
+    from repro import env
+
+    name = env.sched_backend()
     if not name:
         return DEFAULT_BACKEND
     if name not in _BACKENDS:

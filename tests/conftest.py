@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Iterable, Optional, Tuple
 
 import pytest
 from hypothesis import settings as hypothesis_settings
 
+from repro import env as srm_env
 from repro.core.agent import SrmAgent
 from repro.core.config import SrmConfig
 from repro.net.network import Network
@@ -34,7 +34,7 @@ for _name, _scale in _PROFILE_SCALE.items():
     hypothesis_settings.register_profile(
         _name, deadline=None, print_blob=True, derandomize=(_name == "ci"))
 
-_ACTIVE_PROFILE = os.environ.get("SRM_HYPOTHESIS_PROFILE", "ci")
+_ACTIVE_PROFILE = srm_env.hypothesis_profile()
 if _ACTIVE_PROFILE not in _PROFILE_SCALE:
     raise RuntimeError(
         f"SRM_HYPOTHESIS_PROFILE={_ACTIVE_PROFILE!r}: expected one of "

@@ -1,8 +1,8 @@
 """The unified ExperimentSpec -> run_experiment -> RunResult API.
 
 Asserts (a) that the declarative path reproduces the legacy helpers
-exactly, (b) that every deprecated signature still works but warns, and
-(c) that the public surface re-exports the API objects.
+exactly, (b) that the PR-4 deprecation shims removed in v2.0 fail
+loudly, and (c) that the public surface re-exports the API objects.
 """
 
 from __future__ import annotations
@@ -70,61 +70,42 @@ def test_scoped_spec_runs_ideal_local_recovery():
 
 
 # ----------------------------------------------------------------------
-# Deprecated signatures: still functional, but warn
+# The PR-4 deprecation shims are gone (v2.0): legacy names must fail
+# loudly rather than silently doing something.
 # ----------------------------------------------------------------------
 
 
-def test_figure3_sims_per_size_warns_and_matches():
+def test_legacy_kwargs_are_rejected():
     from repro.experiments.figure3 import run_figure3
-
-    new = run_figure3(sizes=(10,), sims=2, seed=1)
-    with pytest.warns(DeprecationWarning, match="sims_per_size"):
-        old = run_figure3(sizes=(10,), sims_per_size=2, seed=1)
-    assert old.format_table() == new.format_table()
-
-
-def test_figure5_sims_per_value_warns_and_matches():
     from repro.experiments.figure5 import run_figure5
-
-    new = run_figure5(c2_values=(0,), sims=2, group_size=8, seed=1)
-    with pytest.warns(DeprecationWarning, match="sims_per_value"):
-        old = run_figure5(c2_values=(0,), sims_per_value=2, group_size=8,
-                          seed=1)
-    assert old.format_table() == new.format_table()
-
-
-def test_rounds_experiment_num_runs_warns_and_matches():
     from repro.experiments.figure12_13 import run_rounds_experiment
 
-    scenario = _scenario(4)
-    new = run_rounds_experiment(scenario, adaptive=True, runs=2,
-                                rounds=3, seed=1)
-    with pytest.warns(DeprecationWarning, match="num_runs"):
-        old = run_rounds_experiment(scenario, adaptive=True, num_runs=2,
-                                    rounds=3, seed=1)
-    assert old.format_table() == new.format_table()
-    with pytest.warns(DeprecationWarning, match="num_rounds"):
-        run_rounds_experiment(scenario, adaptive=True, runs=1,
+    with pytest.raises(TypeError):
+        run_figure3(sizes=(10,), sims_per_size=2, seed=1)
+    with pytest.raises(TypeError):
+        run_figure5(c2_values=(0,), sims_per_value=2, group_size=8,
+                    seed=1)
+    with pytest.raises(TypeError):
+        run_rounds_experiment(_scenario(4), adaptive=True, num_runs=2,
+                              rounds=3, seed=1)
+    with pytest.raises(TypeError):
+        run_rounds_experiment(_scenario(4), adaptive=True, runs=1,
                               num_rounds=2, seed=1)
 
 
-def test_deprecated_result_attributes_warn():
+def test_legacy_result_attributes_are_gone():
     from repro.experiments.figure3 import run_figure3
 
     result = run_figure3(sizes=(10,), sims=2, seed=1)
-    with pytest.warns(DeprecationWarning, match="sims_per_size"):
-        assert result.sims_per_size == result.sims
+    with pytest.raises(AttributeError):
+        result.sims_per_size
 
 
-def test_scoped_recovery_task_shim_warns():
-    from repro.experiments.figure15 import scoped_recovery_task
-
-    scenario = _scenario(15)
-    with pytest.warns(DeprecationWarning, match="scoped_recovery_task"):
-        evaluation = scoped_recovery_task(
-            scenario.spec, scenario.source, scenario.drop_edge,
-            scenario.members, "two-step")
-    assert evaluation.covered
+def test_legacy_task_shims_are_gone():
+    with pytest.raises(ImportError):
+        from repro.experiments.figure15 import scoped_recovery_task  # noqa: F401
+    with pytest.raises(ImportError):
+        from repro.experiments.figure14 import figure14_rounds  # noqa: F401
 
 
 # ----------------------------------------------------------------------

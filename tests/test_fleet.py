@@ -1,0 +1,387 @@
+"""The fleet service: controller, workers, client, determinism.
+
+The headline contract (ISSUE 9): a sweep run through the fleet — over
+real HTTP, across multiple workers, *with worker crashes* — produces
+RunMetrics bundles identical to the serial run. The tests below drive
+an in-process ThreadingHTTPServer controller with worker threads (and,
+for the crash test, a killed OS subprocess) and compare against
+``ExperimentRunner`` ground truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSpec,
+    choose_scenario,
+    run_experiment,
+)
+from repro.fleet.client import FleetClient, FleetError, FleetRunner
+from repro.fleet.controller import FleetAPIError, FleetController, make_server
+from repro.fleet.worker import FleetWorker
+from repro.runner import ExperimentRunner, ResultCache
+from repro.sim.rng import RandomSource
+from repro.topology.random_tree import random_labeled_tree
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+class Fleet:
+    """One controller + HTTP server + N worker threads, self-cleaning."""
+
+    def __init__(self, tmp_path, lease_ttl: float = 5.0,
+                 retries: int = 2) -> None:
+        self.cache = ResultCache(tmp_path / "fleet-cache")
+        self.controller = FleetController(cache=self.cache,
+                                          lease_ttl=lease_ttl,
+                                          retries=retries)
+        self.server = make_server(self.controller)
+        host, port = self.server.server_address
+        self.url = f"http://{host}:{port}"
+        self.client = FleetClient(self.url)
+        self._server_thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True)
+        self._server_thread.start()
+        self.workers: list[FleetWorker] = []
+
+    def start_worker(self, **kwargs) -> FleetWorker:
+        kwargs.setdefault("poll_interval", 0.05)
+        worker = FleetWorker(self.url, **kwargs)
+        threading.Thread(target=worker.run, daemon=True).start()
+        self.workers.append(worker)
+        return worker
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.stop.set()
+        self.server.shutdown()
+        self.server.server_close()
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    instance = Fleet(tmp_path)
+    yield instance
+    instance.close()
+
+
+def _specs(count: int, seed: int = 9, nodes: int = 8):
+    master = RandomSource(seed)
+    specs = []
+    for index in range(count):
+        rng = master.fork(f"fleet-{index}")
+        tspec = random_labeled_tree(nodes, rng)
+        specs.append(ExperimentSpec(
+            scenario=choose_scenario(tspec, session_size=nodes, rng=rng),
+            seed=index, experiment="fleettest"))
+    return specs
+
+
+def _serial_results(specs, tmp_path):
+    runner = ExperimentRunner(cache=ResultCache(tmp_path / "serial-cache"))
+    return runner.map("fleettest", run_experiment,
+                      [dict(spec=spec) for spec in specs])
+
+
+def _assert_identical(fleet_results, serial_results):
+    assert len(fleet_results) == len(serial_results)
+    for ours, truth in zip(fleet_results, serial_results):
+        assert ours.spec == truth.spec
+        assert ours.outcomes == truth.outcomes
+        if truth.metrics is None:
+            assert ours.metrics is None
+        else:
+            ours_doc = json.dumps(ours.metrics.to_dict(), sort_keys=True)
+            truth_doc = json.dumps(truth.metrics.to_dict(),
+                                   sort_keys=True)
+            assert ours_doc == truth_doc
+        assert ours.artifacts == truth.artifacts
+
+
+# ----------------------------------------------------------------------
+# The determinism contract
+# ----------------------------------------------------------------------
+
+
+def test_two_worker_sweep_matches_serial(fleet, tmp_path):
+    fleet.start_worker(name="w-a")
+    fleet.start_worker(name="w-b")
+    specs = _specs(6)
+    job = fleet.client.submit("fleettest", specs)
+    fleet.client.wait(job, timeout=120, poll=0.05)
+    _assert_identical(fleet.client.results(job),
+                      _serial_results(specs, tmp_path))
+
+
+def test_fleet_runner_is_a_drop_in_for_figure_sweeps(fleet, tmp_path):
+    from repro.experiments.figure3 import run_figure3
+
+    fleet.start_worker(name="w-a")
+    fleet.start_worker(name="w-b")
+    ours = run_figure3(sizes=(8,), sims=3, seed=3,
+                       runner=FleetRunner(fleet.url, timeout=120,
+                                          poll=0.05))
+    truth = run_figure3(sizes=(8,), sims=3, seed=3,
+                        runner=ExperimentRunner(
+                            cache=ResultCache(tmp_path / "serial-cache")))
+    assert ours.format_table() == truth.format_table()
+    assert json.dumps(ours.metrics.to_dict(), sort_keys=True) == \
+        json.dumps(truth.metrics.to_dict(), sort_keys=True)
+
+
+def test_submitter_cache_hits_skip_the_workers(fleet):
+    specs = _specs(3)
+    job1 = fleet.client.submit("fleettest", specs)
+    # No workers yet: everything is pending.
+    assert fleet.client.status(job1)["counts"]["pending"] == 3
+    fleet.start_worker(name="w-a")
+    fleet.client.wait(job1, timeout=120, poll=0.05)
+    # Same sweep again: fully resolved from the shared cache at submit.
+    job2 = fleet.client.submit("fleettest", specs)
+    status = fleet.client.status(job2)
+    assert status["state"] == "done"
+    assert status["cached"] == 3
+
+
+# ----------------------------------------------------------------------
+# Worker loss
+# ----------------------------------------------------------------------
+
+
+def test_thread_worker_death_expires_lease_and_reschedules(tmp_path):
+    fleet = Fleet(tmp_path, lease_ttl=0.8)
+    try:
+        specs = _specs(3)
+        job = fleet.client.submit("fleettest", specs)
+        victim = fleet.start_worker(name="victim", hold=60.0)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if fleet.client.status(job)["counts"]["leased"]:
+                break
+            time.sleep(0.02)
+        assert fleet.client.status(job)["counts"]["leased"], \
+            "victim never leased a task"
+        victim.stop.set()  # dies holding the lease; never reports
+
+        fleet.start_worker(name="survivor")
+        fleet.client.wait(job, timeout=120, poll=0.05)
+        _assert_identical(fleet.client.results(job),
+                          _serial_results(specs, tmp_path))
+        kinds = [event["event"] for event in fleet.client.events(job)]
+        assert "lease-expired" in kinds
+        assert victim.completed == 0
+    finally:
+        fleet.close()
+
+
+def test_killed_subprocess_worker_mid_sweep(tmp_path):
+    """SIGKILL a real `repro fleet worker` process holding a lease."""
+    fleet = Fleet(tmp_path, lease_ttl=1.0)
+    process = None
+    try:
+        specs = _specs(4)
+        job = fleet.client.submit("fleettest", specs)
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "fleet", "worker",
+             "--url", fleet.url, "--name", "doomed",
+             "--poll", "0.05", "--hold", "120"],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if fleet.client.status(job)["counts"]["leased"]:
+                break
+            time.sleep(0.05)
+        assert fleet.client.status(job)["counts"]["leased"], \
+            "subprocess worker never leased a task"
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=10)
+
+        fleet.start_worker(name="survivor")
+        fleet.client.wait(job, timeout=120, poll=0.05)
+        _assert_identical(fleet.client.results(job),
+                          _serial_results(specs, tmp_path))
+        kinds = [event["event"] for event in fleet.client.events(job)]
+        assert "lease-expired" in kinds
+    finally:
+        if process is not None and process.poll() is None:
+            process.kill()
+        fleet.close()
+
+
+def test_worker_error_reports_retry_then_fail(tmp_path):
+    fleet = Fleet(tmp_path, lease_ttl=5.0, retries=1)
+    try:
+        spec = _specs(1)[0]
+        # A spec the worker cannot run: unknown scoped mode explodes in
+        # run_experiment, exercising the error-report path end to end.
+        broken = ExperimentSpec(scenario=spec.scenario, kind="scoped",
+                                scoped_mode="warp", experiment="boom")
+        job = fleet.client.submit("boom", [broken])
+        fleet.start_worker(name="w-a")
+        with pytest.raises(FleetError, match="failed"):
+            fleet.client.wait(job, timeout=60, poll=0.05)
+        status = fleet.client.status(job)
+        assert status["state"] == "failed"
+        assert "attempts" in status["error"]
+        kinds = [event["event"] for event in fleet.client.events(job)]
+        assert kinds.count("task-error") == 2  # first try + one retry
+        assert "job-failed" in kinds
+    finally:
+        fleet.close()
+
+
+# ----------------------------------------------------------------------
+# Protocol edges
+# ----------------------------------------------------------------------
+
+
+def test_malformed_submissions_are_rejected(fleet):
+    with pytest.raises(FleetError, match="400"):
+        fleet.client._post("/api/v1/jobs", {"experiment": "x",
+                                            "specs": [{"bogus": 1}]})
+    with pytest.raises(FleetError, match="400"):
+        fleet.client._post("/api/v1/jobs", {"experiment": "",
+                                            "specs": []})
+    with pytest.raises(FleetError, match="404"):
+        fleet.client.status("job-999")
+    with pytest.raises(FleetError, match="404"):
+        fleet.client.lease("w-unknown")
+
+
+def test_results_before_completion_conflict(fleet):
+    job = fleet.client.submit("fleettest", _specs(2))
+    with pytest.raises(FleetError, match="409"):
+        fleet.client.results(job)
+
+
+def test_lease_carries_the_env_block(tmp_path):
+    controller = FleetController(cache=ResultCache(tmp_path / "c"))
+    submitted = controller.submit({
+        "experiment": "envtest",
+        "specs": [json.loads(spec.to_json()) for spec in _specs(1)],
+        "env": {"SRM_CHECK": "1", "SRM_SCHED_BACKEND": "heap"},
+        "salt": "s",
+    })
+    worker = controller.register_worker({"name": "w"})
+    lease = controller.lease({"worker": worker["worker"]})
+    assert lease["task"]["env"] == {"SRM_CHECK": "1",
+                                    "SRM_SCHED_BACKEND": "heap"}
+    assert submitted["state"] == "running"
+
+
+def test_duplicate_report_after_reschedule_is_benign(tmp_path):
+    controller = FleetController(cache=ResultCache(tmp_path / "c"),
+                                 lease_ttl=0.01)
+    spec = _specs(1)[0]
+    controller.submit({"experiment": "duptest",
+                       "specs": [json.loads(spec.to_json())],
+                       "env": {}, "salt": ""})
+    straggler = controller.register_worker({})["worker"]
+    lease = controller.lease({"worker": straggler})
+    time.sleep(0.05)  # lease expires
+    second = controller.register_worker({})["worker"]
+    release = controller.lease({"worker": second})
+    assert release["task"]["index"] == lease["task"]["index"]
+    result_payload = json.loads(run_experiment(spec).to_json())
+    first = controller.report({"worker": second, "job": "job-1",
+                               "index": 0, "result": result_payload})
+    assert first == {"ok": True}
+    late = controller.report({"worker": straggler, "job": "job-1",
+                              "index": 0, "result": result_payload})
+    assert late.get("duplicate") is True
+    assert controller.job_status("job-1")["state"] == "done"
+
+
+def test_fleet_runner_rejects_non_spec_sweeps(fleet):
+    runner = FleetRunner(fleet.url)
+    with pytest.raises(FleetError, match="run_experiment"):
+        runner.map("x", len, [{}])
+    with pytest.raises(FleetError, match="spec"):
+        runner.map("x", run_experiment, [{"spec": _specs(1)[0],
+                                          "extra": 1}])
+
+
+# ----------------------------------------------------------------------
+# Observability: events, SSE, dashboard, CLI views
+# ----------------------------------------------------------------------
+
+
+def test_event_feed_jsonl_and_sse(fleet, tmp_path):
+    fleet.start_worker(name="w-a")
+    specs = _specs(2)
+    job = fleet.client.submit("fleettest", specs)
+    fleet.client.wait(job, timeout=120, poll=0.05)
+    events = fleet.client.events(job)
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "submit"
+    assert kinds[-1] == "job-done"
+    assert kinds.count("result") == 2
+    assert all(event["seq"] >= 0 and event["t"] >= 0
+               for event in events)
+    # The SSE stream replays the same feed and terminates on job end.
+    streamed = list(fleet.client.stream_events(job))
+    assert [event["seq"] for event in streamed] == \
+        [event["seq"] for event in events]
+
+
+def test_dashboard_serves_html(fleet):
+    import urllib.request
+
+    with urllib.request.urlopen(fleet.url + "/", timeout=10) as reply:
+        body = reply.read().decode()
+    assert "repro fleet controller" in body
+    assert "/api/v1/jobs" in body
+
+
+def test_cli_status_and_workers_views(fleet, capsys):
+    import argparse
+
+    from repro.fleet.cli import run_fleet_command
+
+    fleet.start_worker(name="cli-w")
+    job = fleet.client.submit("fleettest", _specs(1))
+    fleet.client.wait(job, timeout=120, poll=0.05)
+
+    args = argparse.Namespace(mode="status", url=fleet.url, job=None)
+    assert run_fleet_command(args) == 0
+    out = capsys.readouterr().out
+    assert "fleettest" in out and "done" in out
+
+    args = argparse.Namespace(mode="workers", url=fleet.url)
+    assert run_fleet_command(args) == 0
+    out = capsys.readouterr().out
+    assert "cli-w" in out
+
+
+def test_worker_registration_and_listing(fleet):
+    fleet.start_worker(name="alpha")
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        rows = fleet.client.workers()
+        if rows:
+            break
+        time.sleep(0.02)
+    assert rows and rows[0]["name"] == "alpha"
+    assert rows[0]["state"] in ("idle", "busy")
+
+
+def test_controller_direct_api_error_statuses(tmp_path):
+    controller = FleetController(cache=ResultCache(tmp_path / "c"))
+    with pytest.raises(FleetAPIError) as excinfo:
+        controller.job_status("nope")
+    assert excinfo.value.status == 404
+    with pytest.raises(FleetAPIError) as excinfo:
+        controller.submit({"experiment": "x", "specs": "not-a-list"})
+    assert excinfo.value.status == 400
