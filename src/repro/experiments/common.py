@@ -25,6 +25,7 @@ from repro.net.network import Network
 from repro.net.packet import NodeId
 from repro.oracle.base import check_mode_enabled
 from repro.sim.rng import RandomSource
+from repro.sim.scheduler import SimScheduler
 from repro.topology.spec import TopologySpec
 
 #: Safety horizon per round; recovery in these experiments completes in a
@@ -118,11 +119,13 @@ class LossRecoverySimulation:
     """
 
     def __init__(self, scenario: Scenario, config: Optional[SrmConfig] = None,
-                 seed: int = 0, delivery: str = "direct") -> None:
+                 seed: int = 0, delivery: str = "direct",
+                 scheduler: Optional["SimScheduler"] = None) -> None:
         self.scenario = scenario
         self.config = config if config is not None else SrmConfig()
         self.master_rng = RandomSource(seed)
-        self.network = scenario.spec.build(delivery=delivery)
+        self.network = scenario.spec.build(scheduler=scheduler,
+                                           delivery=delivery)
         self.network.trace.enabled = True
         self.group = self.network.groups.allocate("session")
         self.agents: Dict[NodeId, SrmAgent] = {}

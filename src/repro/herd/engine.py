@@ -62,7 +62,7 @@ from repro.metrics.events import LossEventReport, analyze_loss_event
 from repro.net.packet import DEFAULT_TTL
 from repro.oracle.base import check_mode_enabled
 from repro.sim.rng import RandomSource
-from repro.sim.scheduler import create_scheduler
+from repro.sim.scheduler import SimScheduler, create_scheduler
 from repro.sim.trace import Trace
 
 FloatArray = Any
@@ -162,7 +162,8 @@ class HerdSimulation:
                  trace_mode: str = "auto",
                  full_trace_threshold: int = FULL_TRACE_THRESHOLD,
                  pool_depth: int = DEFAULT_DEPTH,
-                 inject: Optional[str] = None) -> None:
+                 inject: Optional[str] = None,
+                 scheduler: Optional[SimScheduler] = None) -> None:
         if trace_mode not in ("auto", "full", "aggregate"):
             raise ValueError(f"unknown trace_mode {trace_mode!r}")
         self.scenario = scenario
@@ -204,7 +205,8 @@ class HerdSimulation:
         self._full = (trace_mode == "full" or check_mode_enabled()
                       or (trace_mode == "auto"
                           and count <= full_trace_threshold))
-        self.scheduler = create_scheduler()
+        self.scheduler = (scheduler if scheduler is not None
+                          else create_scheduler())
         self.trace = Trace(enabled=self._full)
         self.collector: Optional[MetricsCollector] = None
         if self._full:
@@ -262,6 +264,8 @@ class HerdSimulation:
 
         self.rounds_run = 0
         self.last_round_metrics: Optional[RunMetrics] = None
+        #: inject="tie-order" shared state: see :meth:`_tie_order_arrive`.
+        self._tie_claims: set[int] = set()
         self.actors: Dict[int, HerdMember] = {}
         self.shared_member = HerdMember(self, None, "shared-config")
         self.oracle = None
@@ -356,7 +360,37 @@ class HerdSimulation:
         for segment in np.split(positions, cuts):
             delay = float(dists[segment[0]])
             batch = segment if targets is None else targets[segment]
+            if self._inject == "tie-order":
+                # Planted bug for the race-detector canary: split the
+                # batch into one scheduler event per member, so the
+                # same-instant arrivals become a permutable tie group
+                # feeding the shared-set leader election below.
+                for position in batch:
+                    self.scheduler.schedule(
+                        delay, self._tie_order_arrive, handler,
+                        np.asarray([position]), delay, extra)
+                continue
             self.scheduler.schedule(delay, handler, batch, delay, *extra)
+
+    def _tie_order_arrive(self, handler: Any, idx: IntArray, delay: float,
+                          extra: Tuple[Any, ...]) -> None:
+        """Planted tie-order bug (``inject="tie-order"``; canary only).
+
+        A timer callback that iterates mutable *shared* state — a plain
+        unordered set — and lets its iteration order elect a leader:
+        the leader's arrival is processed now, everyone else's is
+        deferred by a tiny skew. Which members the set holds when a
+        callback fires depends on same-instant drain order, so the
+        trace diverges under permuted drains — exactly what
+        ``repro lint --races --inject tie-order`` must catch.
+        """
+        tag = (int(idx[0]) * 2654435761) % 1021
+        self._tie_claims.add(tag)
+        leader = next(iter(self._tie_claims))  # lint: ignore[SRM002, SRM008]
+        if leader == tag:
+            handler(idx, delay, *extra)
+        else:
+            self.scheduler.schedule(1e-9, handler, idx, delay, *extra)
 
     # ------------------------------------------------------------------
     # Data plane
@@ -804,6 +838,7 @@ class HerdSimulation:
         self.trace.clear()
         if self.collector is not None:
             self.collector.begin_round()
+        self._tie_claims.clear()
         self._reset_round(below)
         if self._full:
             now = self.scheduler.now

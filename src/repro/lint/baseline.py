@@ -82,6 +82,23 @@ class Baseline:
                 new_entries[path] = kept
         return Baseline(new_entries)
 
+    def stale(self, observed: dict[str, dict[str, int]]
+              ) -> list[tuple[str, str]]:
+        """Entries with *zero* observed hits — dead debt.
+
+        A stale entry means the violation it waived was fixed (or its
+        file deleted) without ratcheting the baseline down; it keeps a
+        silent allowance open that a future regression could slip into.
+        ``repro lint --fail-stale-baseline`` (the CI mode) turns these
+        into a failure, ``--update-baseline`` drops them.
+        """
+        dead: list[tuple[str, str]] = []
+        for path, codes in sorted(self.entries.items()):
+            for code in sorted(codes):
+                if observed.get(path, {}).get(code, 0) == 0:
+                    dead.append((path, code))
+        return dead
+
     def would_grow(self, other: "Baseline") -> list[str]:
         """Human-readable list of entries in ``other`` beyond ``self``."""
         grown: list[str] = []

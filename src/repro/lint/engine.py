@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import ast
+import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,6 +27,10 @@ class LintReport:
     parse_errors: list[Violation] = field(default_factory=list)
     #: file -> code -> count, before baseline waiving (ratchet input).
     observed: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Baseline entries with zero observed hits this run — dead debt
+    #: that ``--update-baseline`` would drop (``--fail-stale-baseline``
+    #: turns them into a CI failure).
+    stale: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -45,6 +50,40 @@ class LintReport:
         if extras:
             summary += f" ({', '.join(extras)})"
         lines.append(summary)
+        return "\n".join(lines)
+
+    def format_json(self) -> str:
+        """The whole report as one JSON document (for CI tooling)."""
+        def row(violation: Violation) -> dict[str, object]:
+            return {"path": violation.path, "line": violation.line,
+                    "col": violation.col, "code": violation.code,
+                    "message": violation.message}
+
+        payload = {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "waived": self.waived,
+            "violations": [row(v) for v in self.parse_errors
+                           + self.violations],
+            "stale_baseline": [{"path": path, "code": code}
+                               for path, code in self.stale],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def format_github(self) -> str:
+        """GitHub Actions workflow commands: one annotation per hit.
+
+        Emitted on stdout so the Actions runner attaches each finding
+        inline to the PR diff; the trailing summary line is plain text
+        (the runner ignores non-command lines).
+        """
+        lines = [
+            f"::error file={v.path},line={v.line},col={v.col},"
+            f"title={v.code}::{v.message}"
+            for v in self.parse_errors + self.violations
+        ]
+        lines.append(self.format().splitlines()[-1])
         return "\n".join(lines)
 
 
@@ -82,7 +121,8 @@ class LintEngine:
 
     def __init__(self, rules: Optional[Iterable[Rule]] = None,
                  baseline: Optional[Baseline] = None,
-                 select: Optional[Iterable[str]] = None) -> None:
+                 select: Optional[Iterable[str]] = None,
+                 root: Optional[Path] = None) -> None:
         chosen = list(rules) if rules is not None else list(all_rules())
         if select is not None:
             wanted = set(select)
@@ -93,6 +133,12 @@ class LintEngine:
             chosen = [rule for rule in chosen if rule.code in wanted]
         self.rules = chosen
         self.baseline = baseline if baseline is not None else Baseline()
+        #: Paths are displayed (and keyed into the baseline) relative to
+        #: this directory. Defaults to the cwd; the CLI anchors it to the
+        #: baseline file's directory so a run from any cwd produces the
+        #: same baseline keys (a cwd mismatch used to make every waived
+        #: violation look brand-new).
+        self.root = root
 
     def check_source(self, path: str, source: str) -> list[Violation]:
         """Raw rule hits for one in-memory file (no suppressions)."""
@@ -108,7 +154,7 @@ class LintEngine:
         report = LintReport()
         all_violations: list[Violation] = []
         for file in iter_python_files(roots):
-            path = _display_path(file)
+            path = _display_path(file, self.root)
             try:
                 source = file.read_text(encoding="utf-8")
                 raw = self.check_source(path, source)
@@ -132,20 +178,27 @@ class LintEngine:
         report.violations = reported
         report.waived = waived
         report.observed = observed
+        report.stale = self.baseline.stale(observed)
         return report
 
 
-def _display_path(file: Path) -> str:
-    """Posix path relative to cwd when possible (stable baseline keys)."""
+def _display_path(file: Path, root: Optional[Path] = None) -> str:
+    """Posix path relative to ``root`` (default: cwd) when possible.
+
+    Display paths double as baseline keys, so they must be stable for a
+    given tree no matter where the linter is launched from — callers
+    with a baseline pass its directory as ``root``.
+    """
+    anchor = (root if root is not None else Path.cwd()).resolve()
     try:
-        relative = file.resolve().relative_to(Path.cwd().resolve())
-        return relative.as_posix()
+        return file.resolve().relative_to(anchor).as_posix()
     except ValueError:
         return file.as_posix()
 
 
 def lint_paths(roots: Sequence[str | Path],
                baseline: Optional[Baseline] = None,
-               select: Optional[Iterable[str]] = None) -> LintReport:
+               select: Optional[Iterable[str]] = None,
+               root: Optional[Path] = None) -> LintReport:
     """One-call convenience: lint ``roots`` and return the report."""
-    return LintEngine(baseline=baseline, select=select).run(roots)
+    return LintEngine(baseline=baseline, select=select, root=root).run(roots)

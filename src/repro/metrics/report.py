@@ -79,7 +79,7 @@ def format_metrics_report(bundle: RunMetrics,
     return "\n".join(lines)
 
 
-def _num(value) -> str:
+def _num(value: Optional[float]) -> str:
     if value is None:
         return "-"
     return f"{value:.3f}"

@@ -198,7 +198,7 @@ class SessionOracleSuite:
         for oracle in self.oracles:
             oracle.on_record(record)
 
-    def agent_for(self, node: Any):
+    def agent_for(self, node: Any) -> Optional[Any]:
         """The SrmAgent at ``node``, or None (lazy passive-mode lookup)."""
         if self.agents is not None:
             agent = self.agents.get(node)
@@ -212,7 +212,7 @@ class SessionOracleSuite:
                 return agent
         return None
 
-    def config_for(self, node: Any):
+    def config_for(self, node: Any) -> Optional[Any]:
         agent = self.agent_for(node)
         return None if agent is None else agent.config
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.oracle.base import EPSILON, Oracle
+from repro.oracle.base import EPSILON, Oracle, SessionOracleSuite
 from repro.sim.trace import TraceRecord
 
 Key = Tuple[Any, Any]  # (node id, ADU name)
@@ -48,7 +48,7 @@ class SchedulerMonotonicityOracle(Oracle):
 
     name = "scheduler-sanity"
 
-    def __init__(self, suite) -> None:
+    def __init__(self, suite: "SessionOracleSuite") -> None:
         super().__init__(suite)
         self._last = float("-inf")
 
@@ -129,7 +129,7 @@ class RequestTimerOracle(Oracle):
 
     name = "request-timer"
 
-    def __init__(self, suite) -> None:
+    def __init__(self, suite: "SessionOracleSuite") -> None:
         super().__init__(suite)
         self._states: Dict[Key, _RequestState] = {}
 
@@ -262,7 +262,7 @@ class RepairHolddownOracle(Oracle):
 
     name = "repair-holddown"
 
-    def __init__(self, suite) -> None:
+    def __init__(self, suite: "SessionOracleSuite") -> None:
         super().__init__(suite)
         self._windows: Dict[Key, float] = {}
 
@@ -315,7 +315,8 @@ class RepairHolddownOracle(Oracle):
             return
         self._windows[(node, name)] = record.time + factor * distance
 
-    def _distance(self, node: Any, anchor: Any, config) -> Optional[float]:
+    def _distance(self, node: Any, anchor: Any,
+                  config: Optional[Any]) -> Optional[float]:
         if config is None or config.distance_oracle:
             return self.suite.distance(node, anchor)
         agent = self.suite.agent_for(node)
@@ -335,7 +336,7 @@ class SuppressionOracle(Oracle):
 
     name = "suppression"
 
-    def __init__(self, suite) -> None:
+    def __init__(self, suite: "SessionOracleSuite") -> None:
         super().__init__(suite)
         self._pending: Dict[Key, Tuple[float, Any]] = {}
         self._last_recv: Dict[Key, float] = {}
@@ -421,7 +422,7 @@ class DeliveryConsistencyOracle(Oracle):
 
     name = "delivery-consistency"
 
-    def __init__(self, suite) -> None:
+    def __init__(self, suite: "SessionOracleSuite") -> None:
         super().__init__(suite)
         self._sent: Dict[Any, Any] = {}       # name -> source node
         self._abandoned: Set[Key] = set()

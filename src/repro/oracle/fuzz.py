@@ -125,7 +125,7 @@ def generate_case(seed: int) -> Dict[str, Any]:
     return case
 
 
-def build_spec(case: Dict[str, Any]):
+def build_spec(case: Dict[str, Any]) -> Any:
     kind = case["topology"]
     nodes = case["nodes"]
     if kind == "chain":
@@ -345,7 +345,7 @@ def shrink_case(case: Dict[str, Any], oracle: str,
 # The fuzz campaign (used by ``repro fuzz``)
 # ----------------------------------------------------------------------
 
-def run_fuzz(rounds: int, seed: int, runner, shrink: bool = True,
+def run_fuzz(rounds: int, seed: int, runner: Any, shrink: bool = True,
              inject: Optional[str] = None,
              shrink_limit: int = 3) -> Dict[str, Any]:
     """Generate ``rounds`` cases, execute through ``runner``, shrink.

@@ -172,8 +172,11 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
 
-    def _resolve_cache(self, tasks, fingerprints, results, done,
-                       finish) -> List[int]:
+    def _resolve_cache(self, tasks: Sequence[Task],
+                       fingerprints: List[str], results: List[Any],
+                       done: List[bool],
+                       finish: Callable[[int, "TaskReport"], None]
+                       ) -> List[int]:
         """Fill cache hits in place; return the indices still to run."""
         misses: List[int] = []
         for position, task in enumerate(tasks):
@@ -193,8 +196,10 @@ class ExperimentRunner:
                 misses.append(position)
         return misses
 
-    def _run_serial(self, tasks, fingerprints, misses, results,
-                    finish) -> None:
+    def _run_serial(self, tasks: Sequence[Task],
+                    fingerprints: List[str], misses: List[int],
+                    results: List[Any],
+                    finish: Callable[[int, "TaskReport"], None]) -> None:
         for position in misses:
             task = tasks[position]
             attempt = 1
@@ -223,8 +228,10 @@ class ExperimentRunner:
                     cache="miss" if self.cache is not None else "off", pid=os.getpid()))
                 break
 
-    def _run_pool(self, tasks, fingerprints, misses, results,
-                  finish) -> None:
+    def _run_pool(self, tasks: Sequence[Task],
+                  fingerprints: List[str], misses: List[int],
+                  results: List[Any],
+                  finish: Callable[[int, "TaskReport"], None]) -> None:
         # Completions are reported (manifest row, cache write, trace
         # record) from the event callback as each task lands, so a
         # listener sees live progress rather than one burst at the end.
@@ -254,8 +261,10 @@ class ExperimentRunner:
                  retries=self.retries, backoff=self.backoff,
                  on_event=on_event)
 
-    def _persist_metrics(self, results, experiments, manifest,
-                         started) -> None:
+    def _persist_metrics(self, results: List[Any],
+                         experiments: List[str],
+                         manifest: Optional[RunManifest],
+                         started: float) -> None:
         """Merge the results' RunMetrics bundles and save them as JSON.
 
         Results without a bundle (legacy task functions, analytic
@@ -281,8 +290,9 @@ class ExperimentRunner:
                              experiments=experiments,
                              headline=merged.headline())
 
-    def _finalize(self, manifest, run_reports, started,
-                  failed: bool) -> None:
+    def _finalize(self, manifest: Optional[RunManifest],
+                  run_reports: List[Optional["TaskReport"]],
+                  started: float, failed: bool) -> None:
         reports = [report for report in run_reports if report is not None]
         hits = sum(1 for report in reports if report.cache == "hit")
         wall = time.monotonic() - started

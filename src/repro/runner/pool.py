@@ -15,7 +15,9 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
+from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as _connection_wait
+from multiprocessing.context import BaseContext
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Upper bound on one poll of the worker pipes; keeps deadline checks
@@ -44,7 +46,7 @@ class Execution:
     pid: Optional[int]
 
 
-def _worker_main(conn) -> None:
+def _worker_main(conn: Connection) -> None:
     """Worker loop: receive ``(index, fn, kwargs)``, send back the result.
 
     Runs until the parent sends ``None`` or closes the pipe. Exceptions
@@ -76,7 +78,7 @@ def _worker_main(conn) -> None:
 class _Worker:
     """One live worker process plus the parent's view of its state."""
 
-    def __init__(self, context) -> None:
+    def __init__(self, context: BaseContext) -> None:
         parent_conn, child_conn = multiprocessing.Pipe()
         self.conn = parent_conn
         self.process = context.Process(target=_worker_main,

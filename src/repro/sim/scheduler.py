@@ -38,6 +38,20 @@ from repro.sim import perf
 #: *and* they are the majority — small heaps never pay a rebuild.
 COMPACT_MIN_CANCELLED = 256
 
+#: A same-instant tie batch as handed to a :data:`TiePermuter`: the
+#: ``(seq, event)`` pairs of every pending event at one simulated
+#: instant, in contract (seq-ascending) order. The event element is
+#: backend-specific (:class:`Event` or :class:`CalendarEvent`).
+TieBatch = List[Tuple[int, Any]]
+
+#: Drain-order hook for the tie-order race detector
+#: (``repro.lint.races``): receives a seq-sorted same-instant batch and
+#: returns the order to actually fire it in. Production runs never
+#: install one — the contract order *is* (time, seq) — the detector
+#: uses it to replay a scenario under permuted drain orders and prove
+#: the trace does not depend on them.
+TiePermuter = Callable[[TieBatch], TieBatch]
+
 
 class SimulationError(RuntimeError):
     """Raised on kernel misuse (scheduling in the past, running twice, ...)."""
@@ -95,7 +109,7 @@ class EventScheduler:
 
     __slots__ = ("_heap", "_next_seq", "_now", "_running",
                  "_events_processed", "_cancelled_in_heap",
-                 "_heap_rebuilds", "perf")
+                 "_heap_rebuilds", "_tie_permuter", "perf")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
@@ -106,7 +120,18 @@ class EventScheduler:
         #: Cancelled events still sitting in the heap (lazy deletion).
         self._cancelled_in_heap = 0
         self._heap_rebuilds = 0
+        self._tie_permuter: Optional[TiePermuter] = None
         self.perf = perf.GLOBAL
+
+    def set_tie_permuter(self, permuter: Optional[TiePermuter]) -> None:
+        """Install (or clear) a same-instant drain-order hook.
+
+        With a permuter installed, :meth:`run` switches to a drain loop
+        that gathers each same-time tie group off the heap before firing
+        any member and lets the hook choose the firing order. Only the
+        race detector does this; ``None`` restores the contract order.
+        """
+        self._tie_permuter = permuter
 
     @property
     def now(self) -> float:
@@ -306,6 +331,8 @@ class EventScheduler:
         ``max_events`` events. Returns the number of events executed by
         this call.
         """
+        if self._tie_permuter is not None:
+            return self._run_permuted(until, max_events)
         if self._running:
             raise SimulationError("scheduler is already running")
         self._running = True
@@ -333,6 +360,73 @@ class EventScheduler:
                 self._now = time
                 event.callback(*event.args)
                 executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+            self._events_processed += executed
+            counters.events_executed += executed
+        return executed
+
+    def _run_permuted(self, until: Optional[float],
+                      max_events: Optional[int]) -> int:
+        """The :meth:`run` drain with a tie permuter installed.
+
+        Pops every entry sharing the next pending time off the heap
+        before firing any of them (the lazy-deletion pop only exposes
+        ties one at a time), hands the seq-sorted batch to the permuter,
+        and fires in the order it returns. A batch member cancelled by
+        an earlier member is skipped, exactly as in the contract drain;
+        events a callback schedules at the same instant get fresh seqs
+        and form the *next* batch, matching the calendar backend's
+        tie-group semantics. Cold path: only the race detector runs it.
+        """
+        permuter = self._tie_permuter
+        assert permuter is not None
+        if self._running:
+            raise SimulationError("scheduler is already running")
+        self._running = True
+        executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        counters = self.perf
+        try:
+            while heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                time, _, head = heap[0]
+                if head.cancelled:
+                    pop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                if until is not None and time > until:
+                    break
+                batch: TieBatch = []
+                while heap and heap[0][0] == time:
+                    _, _, event = pop(heap)
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    # Out of the heap: late cancels must not touch the
+                    # in-heap cancellation counter.
+                    event._sched = None
+                    batch.append((event.seq, event))
+                order = permuter(batch) if len(batch) > 1 else batch
+                for position, (_, event) in enumerate(order):
+                    if max_events is not None and executed >= max_events:
+                        # Unfired members go back on the heap so a later
+                        # run() call resumes without losing them.
+                        for _, rest in order[position:]:
+                            if not rest.cancelled:
+                                rest._sched = self
+                                heapq.heappush(
+                                    heap, (rest.time, rest.seq, rest))
+                        break
+                    if event.cancelled:
+                        continue
+                    self._now = time
+                    event.callback(*event.args)
+                    executed += 1
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -471,7 +565,8 @@ class CalendarScheduler:
 
     __slots__ = ("now", "events_processed", "_buckets", "_nbuckets",
                  "_mask", "_width", "_inv_width", "_day", "_live",
-                 "_gap_ewma", "_next_seq", "_running", "perf")
+                 "_gap_ewma", "_next_seq", "_running", "_tie_permuter",
+                 "perf")
 
     def __init__(self, width: float = 1.0,
                  nbuckets: int = MIN_BUCKETS) -> None:
@@ -495,7 +590,18 @@ class CalendarScheduler:
         self._gap_ewma = 0.0
         self._next_seq = 0
         self._running = False
+        self._tie_permuter: Optional[TiePermuter] = None
         self.perf = perf.GLOBAL
+
+    def set_tie_permuter(self, permuter: Optional[TiePermuter]) -> None:
+        """Install (or clear) a same-instant drain-order hook.
+
+        The calendar's drain already collects each same-instant group as
+        one seq-sorted batch; with a permuter installed that batch fires
+        in the hook's order instead. Only the race detector does this;
+        ``None`` restores the contract order.
+        """
+        self._tie_permuter = permuter
 
     @property
     def heap_rebuilds(self) -> int:
@@ -1001,6 +1107,7 @@ class CalendarScheduler:
             ewma = self._gap_ewma
             prev_time = self.now
             next_adapt = executed + 64
+            permuter = self._tie_permuter
             # Hoist the None checks out of the per-event loop.
             until_t = float("inf") if until is None else until
             max_e = -1 if max_events is None else max_events
@@ -1065,6 +1172,12 @@ class CalendarScheduler:
                     batch = [(ev.seq, ev) for ev in bucket
                              if ev._day == day and ev.time == best_time]
                     batch.sort()
+                    if permuter is not None:
+                        # Race-detector hook: fire the tie group in a
+                        # permuted order instead of seq order. The seq
+                        # guard below is order-independent, so the batch
+                        # mechanics need no other change.
+                        batch = permuter(batch)
                     for seq, ev in batch:
                         if executed == max_e:
                             break

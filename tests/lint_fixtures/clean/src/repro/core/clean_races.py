@@ -1,0 +1,18 @@
+"""Clean counterpart of the SRM008 fixture: total-order sinks only."""
+
+
+class RepairElection:
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self.claimed = set()
+
+    def on_request(self, member):
+        self.claimed.add(member)
+        self.scheduler.schedule(0.5, self._elect, member)
+
+    def _elect(self, member):
+        leader = min(self.claimed)              # total order: no race
+        for other in sorted(self.claimed):      # sorted sink: no race
+            if other != leader:
+                self.scheduler.schedule(1.0, self.on_request, other)
+        return len(self.claimed), sum(x for x in self.claimed)

@@ -1,0 +1,18 @@
+"""SRM008 fixture: timer callback racing on an unordered shared set."""
+
+
+class RepairElection:
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self.claimed = set()
+
+    def on_request(self, member):
+        self.claimed.add(member)
+        self.scheduler.schedule(0.5, self._elect, member)
+
+    def _elect(self, member):
+        leader = next(iter(self.claimed))      # SRM008: arbitrary "first"
+        for other in self.claimed:             # SRM008: drain-order walk
+            if other != leader:
+                self.scheduler.schedule(1.0, self.on_request, other)
+        return self.claimed.pop()              # SRM008: arbitrary element

@@ -28,6 +28,7 @@ EXPECTED_HITS = {
     "SRM005": ("src/repro/net/packet.py", 4),
     "SRM006": ("src/repro/net/network.py", 10),
     "SRM007": ("src/repro/core/srm007.py", 8),
+    "SRM008": ("src/repro/core/srm008.py", 14),
 }
 
 
@@ -243,6 +244,44 @@ def test_shrunk_baseline_cannot_add_entries():
     assert baseline.would_grow(shrunk) == []
 
 
+def test_update_baseline_pure_removal_works_from_any_cwd(tmp_path,
+                                                         monkeypatch):
+    # Regression: display paths used to be cwd-relative, so running
+    # --update-baseline from outside the repo root produced keys that
+    # never matched the baseline — a pure-removal update then looked
+    # like "new debt" and exited 2. Paths now anchor to the baseline
+    # file's directory, so the launch directory is irrelevant.
+    root = _violating_tree(tmp_path)
+    elsewhere = tmp_path / "elsewhere"
+    elsewhere.mkdir()
+    monkeypatch.chdir(elsewhere)
+    key = "src/repro/core/old.py"
+    baseline_path = _baseline_for(
+        root, {key: {"SRM001": 2},
+               "src/repro/core/gone.py": {"SRM003": 1}})
+    assert lint_main([str(root / "src"), "--baseline", str(baseline_path),
+                      "--update-baseline"]) == 0
+    assert load_baseline(baseline_path).entries == {key: {"SRM001": 1}}
+
+
+def test_stale_baseline_entries_are_reported(tmp_path, monkeypatch,
+                                             capsys):
+    root = _violating_tree(tmp_path)
+    monkeypatch.chdir(root)
+    key = "src/repro/core/old.py"
+    baseline_path = _baseline_for(
+        root, {key: {"SRM001": 1},
+               "src/repro/core/gone.py": {"SRM003": 1}})
+    # Dead debt alone is not a failure by default...
+    assert lint_main(["src", "--baseline", str(baseline_path)]) == 0
+    # ... but --fail-stale-baseline makes it one.
+    assert lint_main(["src", "--baseline", str(baseline_path),
+                      "--fail-stale-baseline"]) == 1
+    err = capsys.readouterr().err
+    assert "stale baseline entry" in err
+    assert "src/repro/core/gone.py: SRM003" in err
+
+
 def test_malformed_baseline_is_a_usage_error(tmp_path, monkeypatch):
     root = _violating_tree(tmp_path)
     monkeypatch.chdir(root)
@@ -276,6 +315,34 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for code in rule_codes():
         assert code in out
+
+
+def test_cli_json_format_is_machine_readable(capsys):
+    assert lint_main([str(VIOLATIONS_TREE / "src/repro/core/srm001.py"),
+                      "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    codes = {row["code"] for row in payload["violations"]}
+    assert "SRM001" in codes
+    assert all({"path", "line", "col", "code", "message"}
+               <= set(row) for row in payload["violations"])
+    assert payload["stale_baseline"] == []
+
+
+def test_cli_github_format_emits_error_annotations(capsys):
+    assert lint_main([str(VIOLATIONS_TREE / "src/repro/core/srm003.py"),
+                      "--no-baseline", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    annotations = [line for line in out.splitlines()
+                   if line.startswith("::error ")]
+    assert annotations
+    assert ",title=SRM003::" in annotations[0]
+    assert "file=" in annotations[0] and "line=" in annotations[0]
+    # Clean runs still end with the human summary, no annotations.
+    assert lint_main([str(CLEAN_TREE), "--no-baseline",
+                      "--format", "github"]) == 0
+    assert "::error" not in capsys.readouterr().out
 
 
 def test_committed_baseline_file_is_valid():
